@@ -1,0 +1,23 @@
+"""Ablation: ring pass-KV vs all-gather pass-KV exposure."""
+
+from repro.experiments import ablation_allgather
+
+
+def bench_ablation_allgather(benchmark, paper_table):
+    result = benchmark(ablation_allgather.run)
+    paper_table(benchmark, result)
+    for row in result.rows:
+        ctx, ring_ttft, ag_ttft, slowdown_pct, exposed = row
+        # all-gather is never faster: its communication is fully exposed
+        assert ag_ttft >= ring_ttft - 1e-9
+        assert exposed > 0
+
+
+def bench_traffic_parity(benchmark):
+    """Numeric check: ring and all-gather move identical byte volumes."""
+    ring_bytes, ag_bytes = benchmark(ablation_allgather.traffic_check)
+    assert ring_bytes == ag_bytes
+
+
+if __name__ == "__main__":
+    print(ablation_allgather.run().render())

@@ -1,0 +1,20 @@
+"""Ablation: load-balanced vs naive sharding (design choice, §3.5.1)."""
+
+from repro.experiments import ablation_sharding
+
+
+def bench_ablation_sharding(benchmark, paper_table):
+    result = benchmark(ablation_sharding.run)
+    paper_table(benchmark, result)
+    for row in result.rows:
+        n, lb_ratio, sp_ratio, nv_ratio, lb_pct, nv_pct = row
+        # balanced: within 1% of ideal; naive: tens of percent over
+        assert lb_pct < 1.0
+        assert nv_pct > 30.0
+        # the naive penalty grows with rank count
+    naive = result.column("naive slowdown %")
+    assert naive == sorted(naive)
+
+
+if __name__ == "__main__":
+    print(ablation_sharding.run().render())

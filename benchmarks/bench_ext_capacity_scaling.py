@@ -1,0 +1,29 @@
+"""Extension: KV capacity scaling with CP ranks (paper §1, §3.6, §4.2.3)."""
+
+from repro.experiments import capacity_scaling
+
+
+def bench_capacity_scaling(benchmark, paper_table):
+    result = benchmark(capacity_scaling.run)
+    paper_table(benchmark, result)
+    bf16 = result.column("max context (bf16 KV)")
+    int8 = result.column("max context (int8 KV)")
+    ranks = result.column("ranks")
+    # capacity scales linearly with ranks
+    for n, cap in zip(ranks, bf16):
+        assert cap == n * bf16[0]
+    # int8 KV doubles capacity at every scale
+    for a, b in zip(bf16, int8):
+        assert b == 2 * a
+    # 1M context reachable within the paper's 8-16 node range
+    assert bf16[3] > 1_048_576  # 8 ranks
+
+
+def bench_decode_oom_round_robin(benchmark):
+    pinned, rr = benchmark(capacity_scaling.decode_oom_comparison)
+    # pinned decode OOMs at one rank's capacity; round-robin reaches ~N x
+    assert rr >= 4 * pinned
+
+
+if __name__ == "__main__":
+    print(capacity_scaling.run().render())

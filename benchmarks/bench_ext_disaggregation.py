@@ -1,0 +1,28 @@
+"""Extension: colocated vs disaggregated serving (paper §4.3 guidance)."""
+
+from repro.experiments import disaggregation
+from repro.model.config import llama3_405b_config
+from repro.perf.hardware import gtt_host
+from repro.serving.disaggregated import DisaggregatedSimulator
+
+
+def bench_disaggregation(benchmark, paper_table):
+    result = benchmark(disaggregation.run)
+    paper_table(benchmark, result)
+    # disaggregated TTIT equals single-host decode; colocated pays CP tax
+    colo_ttit = result.column("colocated TTIT (ms)")[0]
+    disagg_ttit = result.column("disaggregated TTIT (ms)")[0]
+    assert disagg_ttit < colo_ttit
+    # for long responses disaggregation wins end-to-end
+    assert result.column("winner")[-1] == "disaggregated"
+
+
+def bench_break_even(benchmark):
+    sim = DisaggregatedSimulator(llama3_405b_config(), gtt_host())
+    breakeven = benchmark(sim.break_even_output_tokens, 131072, n_ranks=4)
+    # the KV stream overlaps layer-wise, so the break-even is tiny
+    assert 0 <= breakeven < 64
+
+
+if __name__ == "__main__":
+    print(disaggregation.run().render())

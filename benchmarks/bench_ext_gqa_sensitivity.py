@@ -1,0 +1,24 @@
+"""Extension: pass-KV economics across GQA ratios (405B/70B/8B/MHA)."""
+
+from repro.experiments import gqa_sensitivity
+
+
+def bench_gqa_sensitivity(benchmark, paper_table):
+    result = benchmark(gqa_sensitivity.run)
+    paper_table(benchmark, result)
+    thresholds = result.column("Eq.1 miss threshold")
+    ratios = result.column("TP/CP traffic ratio")
+    # coarser GQA (fewer KV heads per query head) -> lower threshold,
+    # bigger traffic advantage
+    assert thresholds == sorted(thresholds)
+    assert ratios == sorted(ratios, reverse=True)
+    # MHA counterfactual: no pass-KV message advantage at all
+    assert thresholds[-1] == 2.0
+    assert ratios[-1] == 1.0
+    # Llama3 405B: the paper's 12.5% / 16x numbers
+    assert thresholds[0] == 0.125
+    assert ratios[0] == 16.0
+
+
+if __name__ == "__main__":
+    print(gqa_sensitivity.run().render())

@@ -1,0 +1,21 @@
+"""Extension: CP vs PP latency/throughput contrast (paper §1)."""
+
+from repro.experiments import pp_vs_cp
+
+
+def bench_pp_vs_cp(benchmark, paper_table):
+    result = benchmark(pp_vs_cp.run)
+    paper_table(benchmark, result)
+    cp_ttft = result.column("CP TTFT (s)")
+    pp_ttft = result.column("PP TTFT (s)")
+    # CP latency falls with hosts; PP latency does not
+    assert cp_ttft == sorted(cp_ttft, reverse=True)
+    assert max(pp_ttft) / min(pp_ttft) < 1.05
+    # but PP throughput keeps pace with CP's
+    cp_thr = result.column("CP prefills/s")
+    pp_thr = result.column("PP prefills/s (saturated)")
+    assert pp_thr[-1] > 0.9 * cp_thr[-1]
+
+
+if __name__ == "__main__":
+    print(pp_vs_cp.run().render())

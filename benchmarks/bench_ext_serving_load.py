@@ -1,0 +1,25 @@
+"""Extension: serving under Poisson load, colocated vs disaggregated (§4.3)."""
+
+from repro.experiments import serving_load
+
+
+def bench_serving_load(benchmark, paper_table):
+    result = benchmark(serving_load.run)
+    paper_table(benchmark, result)
+    rows = result.rows
+    # pair up (colocated, disaggregated) per rate
+    for colo, disagg in zip(rows[0::2], rows[1::2]):
+        assert colo[1] == "colocated" and disagg[1] == "disaggregated"
+        # decode experience: disaggregated per-token latency much lower
+        assert disagg[4] < colo[4]
+        # end-to-end latency better when disaggregated
+        assert disagg[5] <= colo[5]
+    # colocated decode stall grows with load; disaggregated stays flat
+    colo_per_token = [r[4] for r in rows if r[1] == "colocated"]
+    disagg_per_token = [r[4] for r in rows if r[1] == "disaggregated"]
+    assert colo_per_token == sorted(colo_per_token)
+    assert max(disagg_per_token) / min(disagg_per_token) < 1.05
+
+
+if __name__ == "__main__":
+    print(serving_load.run().render())

@@ -1,0 +1,30 @@
+"""Figure 6a/6b: pass-KV full-prefill latency scaling on GTT and GTI."""
+
+from repro.experiments import fig6_prefill_scaling
+from repro.perf.hardware import gti_host, gtt_host
+
+
+def bench_fig6a_gtt(benchmark, paper_table):
+    result = benchmark(fig6_prefill_scaling.run, gtt_host())
+    paper_table(benchmark, result)
+    # near-linear scaling at 128K: CP8 at least 6x faster than CP1
+    row_128k = [r for r in result.rows if r[0] == 131072][0]
+    cp1, cp8 = row_128k[1], row_128k[4]
+    assert cp1 / cp8 > 6.0
+    # headline: 128K prefill in a handful of seconds on CP8
+    assert cp8 < 7.0
+
+
+def bench_fig6b_gti(benchmark, paper_table):
+    result = benchmark(fig6_prefill_scaling.run, gti_host())
+    paper_table(benchmark, result)
+    # GTI keeps GTT-like scaling to 4 nodes (pass-KV hides under compute)
+    row_128k = [r for r in result.rows if r[0] == 131072][0]
+    cp1, cp4 = row_128k[1], row_128k[3]
+    assert cp1 / cp4 > 3.4
+
+
+if __name__ == "__main__":
+    for res in fig6_prefill_scaling.run_both():
+        print(res.render())
+        print()

@@ -1,0 +1,22 @@
+"""Figure 7: CP vs multi-node TP scaling ratio at 128K."""
+
+from repro.experiments import fig7_cp_vs_tp
+
+
+def bench_fig7_scaling_ratio(benchmark, paper_table):
+    result = benchmark(fig7_cp_vs_tp.run)
+    paper_table(benchmark, result)
+    tp_ratios = result.column("TP ratio")
+    cp_ratios = result.column("CP ratio")
+    # CP stays near-linear; TP plateaus
+    assert cp_ratios[-1] > 6.5  # 8 nodes
+    assert tp_ratios[-1] < 3.0
+    # the gap widens monotonically with node count
+    gaps = [c / t for c, t in zip(cp_ratios, tp_ratios)]
+    assert gaps == sorted(gaps)
+    # "100% difference" at 8 nodes: TP latency at least 2x CP latency
+    assert result.column("TP TTFT (s)")[-1] > 2.0 * result.column("CP TTFT (s)")[-1]
+
+
+if __name__ == "__main__":
+    print(fig7_cp_vs_tp.run().render())

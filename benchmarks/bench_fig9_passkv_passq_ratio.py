@@ -1,0 +1,25 @@
+"""Figure 9: pass-KV / pass-Q speed ratio vs KV-cache miss rate."""
+
+from repro.experiments import table4_fig9_partial_prefill as t4
+
+
+def bench_fig9_ratio_curve(benchmark, paper_table):
+    result = benchmark(t4.run)
+    paper_table(benchmark, result)
+    rates = [r / 100 for r in result.column("miss%")]
+    ratios = result.column("KV/Q ratio")
+
+    # ratio > 1 (pass-Q wins) at the lowest miss rates, < 1 at high
+    assert ratios[0] > 1.05
+    assert ratios[-1] < 0.95
+    # monotonically decreasing ratio (pass-KV gains as miss rate rises)
+    assert ratios == sorted(ratios, reverse=True)
+    # crossover within the paper's near-tie band (2.5% - 5%)
+    crossover = t4.crossover_miss_rate(result)
+    assert 0.025 <= crossover <= 0.05, f"crossover at {crossover:.3%}"
+
+
+if __name__ == "__main__":
+    result = t4.run()
+    print(result.render())
+    print(f"\ncrossover miss rate: {t4.crossover_miss_rate(result):.3%}")

@@ -1,0 +1,68 @@
+"""Numeric-kernel microbenchmarks (simulator performance, not paper claims).
+
+Times the NumPy substrate itself — the flash kernel, the ring algorithms
+and an end-to-end engine prefill at test scale — so regressions in the
+simulation's own speed are visible.
+"""
+
+import numpy as np
+
+from repro.attention.flash import flash_attention
+from repro.attention.reference import reference_attention_with_lse
+from repro.core.engine import ContextParallelEngine
+from repro.core.ring_passkv import ring_passkv_prefill
+from repro.core.ring_passq import ring_passq_prefill
+from repro.core.sharding import SequenceSpec, ShardedKV, ShardedQueries, shard_sequences
+from repro.distributed.process_group import SimProcessGroup
+from repro.model.config import tiny_config
+from repro.model.llama import LlamaModel
+
+T = 256
+RNG = np.random.default_rng(0)
+Q = RNG.standard_normal((T, 8, 32))
+K = RNG.standard_normal((T, 2, 32))
+V = RNG.standard_normal((T, 2, 32))
+
+
+def _shards(world):
+    shards = shard_sequences([SequenceSpec(0, T)], world)
+    queries = [ShardedQueries(q=Q[pos], positions=pos, seq_ids=sid) for pos, sid in shards]
+    kvs = [ShardedKV(k=K[pos], v=V[pos], positions=pos, seq_ids=sid) for pos, sid in shards]
+    return queries, kvs
+
+
+def bench_reference_attention(benchmark):
+    benchmark(reference_attention_with_lse, Q, K, V)
+
+
+def bench_flash_attention(benchmark):
+    benchmark(flash_attention, Q, K, V, block_size=64)
+
+
+def bench_ring_passkv_cp4(benchmark):
+    queries, kvs = _shards(4)
+
+    def run():
+        return ring_passkv_prefill(SimProcessGroup(4), queries, kvs, block_size=64)
+
+    benchmark(run)
+
+
+def bench_ring_passq_cp4(benchmark):
+    queries, kvs = _shards(4)
+
+    def run():
+        return ring_passq_prefill(SimProcessGroup(4), queries, kvs, block_size=64)
+
+    benchmark(run)
+
+
+def bench_engine_prefill_cp2(benchmark):
+    model = LlamaModel(tiny_config(), seed=0)
+    toks = np.arange(64) % model.config.vocab_size
+
+    def run():
+        engine = ContextParallelEngine(model, world_size=2)
+        return engine.prefill({0: toks})
+
+    benchmark(run)

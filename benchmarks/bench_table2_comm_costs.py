@@ -1,0 +1,14 @@
+"""Table 2/3: TP-vs-CP communication and complexity accounting."""
+
+from repro.experiments import table2_comm
+
+
+def bench_table2_comm_costs(benchmark, paper_table):
+    result = benchmark(table2_comm.run)
+    paper_table(benchmark, result)
+    ratio = result.rows[0][3]
+    assert ratio == 16.0, "Llama3 405B: TP moves 16x the bytes CP does per block"
+
+
+if __name__ == "__main__":
+    print(table2_comm.run().render())

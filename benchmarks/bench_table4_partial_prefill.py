@@ -1,0 +1,39 @@
+"""Table 4: pass-KV vs pass-Q partial-prefill TTFT sweep on CP4."""
+
+import numpy as np
+
+from repro.experiments import table4_fig9_partial_prefill as t4
+
+
+def bench_table4_sweep(benchmark, paper_table):
+    result = benchmark(t4.run)
+    paper_table(benchmark, result)
+
+    kv = np.array(result.column("pass-KV ms"))
+    qq = np.array(result.column("pass-Q ms"))
+    paper_kv = np.array(result.column("paper pass-KV ms"))
+    paper_q = np.array(result.column("paper pass-Q ms"))
+
+    # every simulated TTFT within 15% of the paper's measurement
+    assert np.all(np.abs(kv - paper_kv) / paper_kv < 0.15)
+    assert np.all(np.abs(qq - paper_q) / paper_q < 0.15)
+
+    # TTFT ~linear in miss rate: compare 10% -> 100% growth to ~10x-ish
+    rates = np.array(result.column("miss%")) / 100
+    ten = kv[np.isclose(rates, 0.10)][0]
+    hundred = kv[np.isclose(rates, 1.0)][0]
+    assert 4.0 < hundred / ten < 7.0  # sub-10x: fixed overheads at small T
+
+    # Algorithm 5 agrees with the oracle except possibly at near-ties
+    oracle = result.column("oracle")
+    alg5 = result.column("Alg5")
+    disagreements = [
+        i for i, (o, a) in enumerate(zip(oracle, alg5)) if o != a
+    ]
+    for i in disagreements:
+        ratio = result.rows[i][5]
+        assert 0.95 < ratio < 1.05, "Alg5 may only disagree at near-ties"
+
+
+if __name__ == "__main__":
+    print(t4.run().render())

@@ -1,0 +1,29 @@
+"""Table 6: TTFT/TTIT for TP8 vs CP2 across context lengths."""
+
+from repro.experiments import table6_ttft_ttit
+
+
+def bench_table6_ttft_ttit(benchmark, paper_table):
+    result = benchmark(table6_ttft_ttit.run)
+    paper_table(benchmark, result)
+
+    for row in result.rows:
+        ctx, tp_ttft, tp_ttit, cp_ttft, cp_ttit, paper_tp, paper_cp = row
+        # CP2 roughly halves TTFT at long context
+        if ctx >= 32768:
+            assert 1.6 < tp_ttft / cp_ttft < 2.2
+        # CP2 decode regresses by ~15 ms (ring + All2All per layer)
+        assert 10 < cp_ttit - tp_ttit < 25
+        # model tracks the paper's TTFTs
+        assert abs(tp_ttft - paper_tp) / paper_tp < 0.12
+        assert abs(cp_ttft - paper_cp) / paper_cp < 0.60  # 8K CP2 dominated by fixed costs
+
+    # TTIT ~flat in context for both configs
+    ttits_tp = result.column("TP8 TTIT")
+    ttits_cp = result.column("CP2 TTIT")
+    assert max(ttits_tp) / min(ttits_tp) < 1.15
+    assert max(ttits_cp) / min(ttits_cp) < 1.15
+
+
+if __name__ == "__main__":
+    print(table6_ttft_ttit.run().render())

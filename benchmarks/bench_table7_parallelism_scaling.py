@@ -1,0 +1,24 @@
+"""Table 7: TTFT/TTIT across CP1/2/4 and TP16/32 at 128K."""
+
+from repro.experiments import table7_parallelism
+
+
+def bench_table7_parallelism(benchmark, paper_table):
+    result = benchmark(table7_parallelism.run)
+    paper_table(benchmark, result)
+    rows = {r[0]: r for r in result.rows}
+
+    # prefill: CP beats TP at matching node counts
+    assert rows["CP2+TP8"][1] < rows["TP16"][1]
+    assert rows["CP4+TP8"][1] < rows["TP32"][1]
+    # decode: CP TTIT degrades with hosts; TP32 worse than TP8
+    assert rows["CP4+TP8"][2] > rows["CP2+TP8"][2] > rows["CP1+TP8"][2]
+    assert rows["TP32"][2] > rows["TP16"][2]
+    # every model TTFT/TTIT within 12% of the paper's row
+    for label, row in rows.items():
+        assert abs(row[1] - row[3]) / row[3] < 0.12, label
+        assert abs(row[2] - row[4]) / row[4] < 0.12, label
+
+
+if __name__ == "__main__":
+    print(table7_parallelism.run().render())

@@ -1,0 +1,26 @@
+"""Table 8: decode attention scaling breakdown across CP hosts."""
+
+from repro.experiments import table8_decode_attention
+
+
+def bench_table8_decode_attention(benchmark, paper_table):
+    result = benchmark(table8_decode_attention.run)
+    paper_table(benchmark, result)
+
+    for context, batch in ((131072, 1), (32768, 4)):
+        rows = [r for r in result.rows if r[0] == context and r[1] == batch]
+        ops = [r[4] for r in rows]
+        wholes = [r[8] for r in rows]
+        # individual attention op shrinks with ranks...
+        assert ops == sorted(ops, reverse=True)
+        # ...while the whole per-layer pass-Q path grows
+        assert wholes == sorted(wholes)
+
+    # 128K B=1 whole pass-Q near the paper's trace numbers
+    b1 = {r[2]: r for r in result.rows if r[0] == 131072}
+    assert abs(b1[2][8] - 157.7) / 157.7 < 0.12
+    assert abs(b1[4][8] - 238.6) / 238.6 < 0.12
+
+
+if __name__ == "__main__":
+    print(table8_decode_attention.run().render())

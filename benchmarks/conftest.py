@@ -1,0 +1,29 @@
+"""Benchmark harness configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_*`` file regenerates one paper table/figure via
+:mod:`repro.experiments` and times the regeneration with pytest-benchmark.
+The regenerated rows are printed (use ``-s`` to see them inline; they are
+also echoed into the benchmark's ``extra_info``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(benchmark, result) -> None:
+    """Attach a rendered experiment table to the benchmark record and print it."""
+    text = result.render()
+    print("\n" + text + "\n")
+    benchmark.extra_info["experiment"] = result.experiment_id
+    benchmark.extra_info["rows"] = len(result.rows)
+
+
+@pytest.fixture
+def paper_table():
+    """Helper printing + annotating experiment results."""
+    return emit

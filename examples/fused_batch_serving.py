@@ -1,0 +1,69 @@
+"""Fused variable-length batch serving through the scheduler.
+
+Drives the full serving stack: a FIFO of mixed-length prefill requests is
+packed into fused varseq rounds (Figure 1), each round runs one
+context-parallel prefill over the shared engine, and every sequence then
+decodes a short response. Demonstrates that fusion preserves per-sequence
+exactness and that the KV cache stays balanced across ranks.
+
+Run:  python examples/fused_batch_serving.py
+"""
+
+import numpy as np
+
+from repro import ContextParallelEngine, LlamaModel, tiny_config
+from repro.model.sampling import sample_greedy
+from repro.serving.request import PrefillRequest
+from repro.serving.scheduler import Scheduler
+from repro.workloads.generator import WorkloadGenerator
+
+
+def main() -> None:
+    model = LlamaModel(tiny_config(), seed=5)
+    engine = ContextParallelEngine(model, world_size=3)
+    gen = WorkloadGenerator(model.config.vocab_size, seed=9)
+
+    scheduler = Scheduler(max_tokens_per_batch=96, max_seqs_per_batch=4)
+    lengths = [40, 18, 33, 25, 61, 12]
+    for sid, n in enumerate(lengths):
+        scheduler.submit(PrefillRequest(seq_id=sid, token_ids=gen.prompt(n), max_new_tokens=3))
+    print(f"queued {scheduler.pending()} requests, lengths {lengths}")
+
+    prompts_seen: dict[int, np.ndarray] = {}
+    round_idx = 0
+    while (batch := scheduler.next_batch()) is not None:
+        prompts = batch.prompts()
+        prompts_seen.update(prompts)
+        out = engine.prefill(prompts)
+        print(
+            f"round {round_idx}: fused {batch.seq_ids} "
+            f"({batch.total_new_tokens} tokens) algo={out.plan.algo.value}"
+        )
+
+        # per-sequence exactness inside the fused round
+        for sid, toks in prompts.items():
+            ref = model.forward(toks)
+            err = np.abs(out.logits[sid] - ref).max()
+            assert err < 1e-9, f"sequence {sid} diverged: {err}"
+
+        # short batched decode for the whole round
+        next_tokens = {
+            sid: int(sample_greedy(out.last_logits(sid))) for sid in prompts
+        }
+        for _ in range(3):
+            step = engine.decode(next_tokens)
+            next_tokens = {
+                sid: int(sample_greedy(step.logits[sid])) for sid in next_tokens
+            }
+        round_idx += 1
+
+    print()
+    for sid in sorted(prompts_seen):
+        counts = engine.cached_tokens(sid)
+        total = engine.context_length(sid)
+        print(f"seq {sid}: context {total:>3} tokens, per-rank cache {counts}")
+    print("all fused rounds exact; cache balanced across ranks")
+
+
+if __name__ == "__main__":
+    main()

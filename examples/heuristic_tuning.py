@@ -1,0 +1,70 @@
+"""Tuning the pass-KV/pass-Q selector: Algorithms 1 and 5 vs the oracle.
+
+Reproduces the paper's Appendix C/D workflow: sweep (T, miss-rate) space
+with the calibrated latency model, compare each published selector's
+choices against the simulated oracle, and refit the empirical linear
+boundary h(T, P) on the sweep.
+
+Run:  python examples/heuristic_tuning.py
+"""
+
+import numpy as np
+
+from repro import LatencySimulator, RingAlgo, gtt_host, llama3_405b_config
+from repro.core.heuristics import (
+    fit_empirical,
+    select_algo_simple,
+    select_algo_with_all2all,
+)
+from repro.experiments.fig10_heuristic import sweep_points
+
+
+def regret(sim, selector, points, n_ranks=4) -> tuple[float, float]:
+    """(mean %, max %) extra latency from following `selector` vs oracle."""
+    regrets = []
+    for t, p in points:
+        kv = sim.cp_prefill(t, p, n_ranks=n_ranks, algo=RingAlgo.PASS_KV).total
+        qq = sim.cp_prefill(t, p, n_ranks=n_ranks, algo=RingAlgo.PASS_Q).total
+        best = min(kv, qq)
+        chosen = kv if selector(t, p) is RingAlgo.PASS_KV else qq
+        regrets.append(chosen / best - 1.0)
+    return float(np.mean(regrets)) * 100, float(np.max(regrets)) * 100
+
+
+def main() -> None:
+    sim = LatencySimulator(llama3_405b_config(), gtt_host())
+    hc = sim.heuristic_config(4)
+    print(f"static thresholds for CP4/GTT:")
+    print(f"  Eq.1  miss-rate ratio 2*NKV/NH        = {hc.kv_message_ratio:.3f}")
+    print(f"  Eq.2  pass-KV overlap threshold (T)   = {hc.passkv_overlap_threshold:,.0f} tokens")
+    print(f"  Eq.3  pass-Q overlap threshold (T+P)  = {hc.passq_overlap_threshold:,.0f} tokens")
+    print()
+
+    # sweep grid: T x miss-rate, total bounded at 128K-ish contexts
+    points = []
+    for t in (512, 1024, 2048, 4096, 8192, 16384, 32768, 65536):
+        for rate in (0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0):
+            p = int(t / rate) - t
+            points.append((t, p))
+
+    for name, sel in (
+        ("Algorithm 1 (overlap + message size)", lambda t, p: select_algo_simple(hc, t, p)),
+        ("Algorithm 5 (All2All-aware)", lambda t, p: select_algo_with_all2all(hc, t, p)),
+        ("always pass-KV", lambda t, p: RingAlgo.PASS_KV),
+        ("always pass-Q", lambda t, p: RingAlgo.PASS_Q),
+    ):
+        mean_r, max_r = regret(sim, sel, points)
+        print(f"{name:<38} mean regret {mean_r:5.2f}%   max regret {max_r:5.1f}%")
+
+    print()
+    t_arr, p_arr, labels, _ = sweep_points(sim)
+    alpha, beta, gamma = fit_empirical(t_arr, p_arr, labels)
+    print("refit of Appendix D's empirical boundary on simulated data:")
+    print(f"  h(T, P) = {alpha:+.3f} ln(T) {beta:+.3f} ln(T/(T+P)) {gamma:+.3f}")
+    print(f"  (paper's published fit: -1.059, +1.145, +12.112 on production traces)")
+    h = alpha * np.log(t_arr) + beta * np.log(t_arr / (t_arr + p_arr)) + gamma
+    print(f"  boundary agreement on sweep: {np.mean((h > 0) == labels):.1%}")
+
+
+if __name__ == "__main__":
+    main()

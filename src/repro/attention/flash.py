@@ -1,0 +1,153 @@
+"""Blocked online-softmax attention with LSE output (flash-style).
+
+This kernel mirrors the contract of FlashAttention-3 / Flash-Decoding that
+the production system uses: it walks the key/value tensor in blocks, keeps a
+running online-softmax state per (query token, head), and returns both the
+attention output ``O`` and the log-sum-exp ``LSE``.
+
+The blocked structure is not a performance affectation — it is load-bearing
+for the reproduction:
+
+- It proves that the library's merge attention (:mod:`repro.core.merge`,
+  paper Appendix B) composes *exactly*: a ring algorithm that merges K
+  partial results from K disjoint KV shards must produce bit-compatible
+  output with a single monolithic kernel call, because both reduce through
+  the same online-softmax recurrence.
+- ``num_kv_splits`` emulates Flash-Decoding's split-KV execution (the paper
+  uses 256 splits for decode) by computing independent partials per split
+  and merging them, again through the same recurrence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attention.gqa import validate_gqa_shapes
+from repro.attention.masks import attention_mask
+from repro.attention.online_softmax import OnlineSoftmaxState
+from repro.attention.reference import reference_attention_with_lse
+
+
+@dataclass(frozen=True)
+class AttentionResult:
+    """Partial or final attention result: output plus log-sum-exp.
+
+    Attributes:
+        out: ``[T, NH, DH]`` attention output.
+        lse: ``[T, NH]`` log-sum-exp of the (scaled, masked) scores.
+    """
+
+    out: np.ndarray
+    lse: np.ndarray
+
+    @property
+    def tokens(self) -> int:
+        return self.out.shape[0]
+
+    def astype(self, dtype) -> "AttentionResult":
+        return AttentionResult(self.out.astype(dtype), self.lse.astype(dtype))
+
+
+def flash_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    *,
+    q_pos: np.ndarray | None = None,
+    k_pos: np.ndarray | None = None,
+    q_seq: np.ndarray | None = None,
+    k_seq: np.ndarray | None = None,
+    causal: bool = True,
+    scale: float | None = None,
+    block_size: int = 128,
+    num_kv_splits: int = 1,
+    mask_fn=None,
+) -> AttentionResult:
+    """Blocked exact GQA attention returning :class:`AttentionResult`.
+
+    Args:
+        q, k, v: GQA tensors ``[Tq, NH, DH]`` / ``[Tk, NKV, DH]``.
+        q_pos, k_pos, q_seq, k_seq: token coordinates (see
+            :mod:`repro.attention.masks`).
+        causal: apply the causal predicate.
+        scale: score scale, default ``1/sqrt(DH)``.
+        block_size: KV block length for the online-softmax sweep.
+        num_kv_splits: emulate Flash-Decoding split-KV: the KV range is cut
+            into this many independent partials, merged at the end. The
+            result is exact for any split count.
+        mask_fn: optional mask override in absolute coordinates (see
+            :func:`repro.attention.reference.reference_attention_with_lse`);
+            enables windowed/sink attention through the same kernel.
+
+    Returns:
+        Exact ``(O, LSE)`` for the full masked attention.
+    """
+    tq, tk, nh, _ = validate_gqa_shapes(q, k, v)
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+    if num_kv_splits <= 0:
+        raise ValueError(f"num_kv_splits must be positive, got {num_kv_splits}")
+    if q_pos is None:
+        q_pos = np.arange(tq, dtype=np.int64)
+    if k_pos is None:
+        k_pos = np.arange(tk, dtype=np.int64)
+    q_pos = np.asarray(q_pos)
+    k_pos = np.asarray(k_pos)
+
+    if tk == 0 or tq == 0:
+        return AttentionResult(
+            out=np.zeros((tq, nh, q.shape[-1]), dtype=np.float64),
+            lse=np.full((tq, nh), -np.inf, dtype=np.float64),
+        )
+
+    split_edges = np.linspace(0, tk, num_kv_splits + 1, dtype=np.int64)
+    state = OnlineSoftmaxState(out_shape=(tq, nh, q.shape[-1]), lse_shape=(tq, nh))
+    for split in range(num_kv_splits):
+        lo, hi = int(split_edges[split]), int(split_edges[split + 1])
+        partial = _attend_range(
+            q, k, v, q_pos, k_pos, q_seq, k_seq, causal, scale, block_size, lo, hi,
+            mask_fn,
+        )
+        state.update(partial.out, partial.lse)
+    out, lse = state.finalize()
+    return AttentionResult(out=out, lse=lse)
+
+
+def _attend_range(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    q_pos: np.ndarray,
+    k_pos: np.ndarray,
+    q_seq: np.ndarray | None,
+    k_seq: np.ndarray | None,
+    causal: bool,
+    scale: float | None,
+    block_size: int,
+    lo: int,
+    hi: int,
+    mask_fn=None,
+) -> AttentionResult:
+    """Online-softmax sweep over KV storage slice ``[lo, hi)``."""
+    tq, nh = q.shape[0], q.shape[1]
+    state = OnlineSoftmaxState(out_shape=(tq, nh, q.shape[-1]), lse_shape=(tq, nh))
+    for start in range(lo, hi, block_size):
+        stop = min(start + block_size, hi)
+        k_seq_blk = None if k_seq is None else np.asarray(k_seq)[start:stop]
+        out_blk, lse_blk = reference_attention_with_lse(
+            q,
+            k[start:stop],
+            v[start:stop],
+            q_pos=q_pos,
+            k_pos=k_pos[start:stop],
+            q_seq=q_seq,
+            k_seq=k_seq_blk,
+            causal=causal,
+            scale=scale,
+            mask_fn=mask_fn,
+        )
+        state.update(out_blk, lse_blk)
+    out, lse = state.finalize()
+    return AttentionResult(out=out, lse=lse)

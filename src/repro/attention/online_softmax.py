@@ -1,0 +1,82 @@
+"""Streaming (online) softmax accumulation.
+
+This is the numerical core shared by the blocked flash-style kernel and by
+merge attention (paper Appendix B). Given partial attention results computed
+against disjoint key/value chunks, each carrying a log-sum-exp (LSE), the
+exact attention over the union of the chunks is recovered by LSE-weighted
+averaging — Equation (4) of the paper:
+
+    O = sum_s O_s * exp(LSE_s - LSE_max) / sum_s exp(LSE_s - LSE_max)
+
+The accumulator below implements the same recurrence incrementally so a ring
+loop can fold in one partial result per iteration with O(1) extra memory,
+exactly as the production system merges per-ring-step partials.
+
+Empty partials are represented by ``LSE = -inf`` and ``O = 0`` and are
+absorbed as identity elements, which is what a causal shard with no visible
+keys produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class OnlineSoftmaxState:
+    """Incremental merge state for partial attention outputs.
+
+    The state tracks, per (token, head): the running max LSE ``m``, the
+    running denominator ``denom = sum_s exp(LSE_s - m)`` and the running
+    numerator ``acc = sum_s O_s * exp(LSE_s - m)``. ``finalize`` returns
+    ``acc / denom`` and the combined LSE ``m + log(denom)``.
+
+    All arithmetic is done in float64 regardless of input dtype so that the
+    "lossless exact" property of the ring algorithms is limited only by the
+    final cast.
+    """
+
+    def __init__(self, out_shape: tuple[int, ...], lse_shape: tuple[int, ...]):
+        if out_shape[: len(lse_shape)] != lse_shape:
+            raise ValueError(f"lse shape {lse_shape} must prefix output shape {out_shape}")
+        self._acc = np.zeros(out_shape, dtype=np.float64)
+        self._m = np.full(lse_shape, -np.inf, dtype=np.float64)
+        self._denom = np.zeros(lse_shape, dtype=np.float64)
+
+    @property
+    def max_lse(self) -> np.ndarray:
+        """Running maximum LSE (read-only view)."""
+        return self._m
+
+    def update(self, partial_out: np.ndarray, partial_lse: np.ndarray) -> None:
+        """Fold one partial attention result into the state.
+
+        Args:
+            partial_out: ``[..., DH]`` partial output ``O_s``.
+            partial_lse: ``[...]`` log-sum-exp of the partial scores.
+        """
+        partial_out = np.asarray(partial_out, dtype=np.float64)
+        partial_lse = np.asarray(partial_lse, dtype=np.float64)
+        if partial_out.shape != self._acc.shape:
+            raise ValueError(f"partial out shape {partial_out.shape} != {self._acc.shape}")
+        if partial_lse.shape != self._m.shape:
+            raise ValueError(f"partial lse shape {partial_lse.shape} != {self._m.shape}")
+
+        new_m = np.maximum(self._m, partial_lse)
+        # Identity when both sides are empty (-inf): keep zeros.
+        safe_m = np.where(np.isinf(new_m), 0.0, new_m)
+        old_scale = np.exp(np.where(np.isneginf(self._m), -np.inf, self._m - safe_m))
+        new_scale = np.exp(np.where(np.isneginf(partial_lse), -np.inf, partial_lse - safe_m))
+        self._acc = self._acc * old_scale[..., None] + partial_out * new_scale[..., None]
+        self._denom = self._denom * old_scale + new_scale
+        self._m = new_m
+
+    def finalize(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(O, LSE)`` for the union of all folded partials.
+
+        Tokens that never saw a valid key come back as zero output with
+        ``LSE = -inf`` (matching the empty-partial convention).
+        """
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out = np.where(self._denom[..., None] > 0, self._acc / np.where(self._denom == 0.0, 1.0, self._denom)[..., None], 0.0)
+            lse = np.where(self._denom > 0, self._m + np.log(np.where(self._denom == 0.0, 1.0, self._denom)), -np.inf)
+        return out, lse

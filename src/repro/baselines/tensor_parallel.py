@@ -1,0 +1,113 @@
+"""Multi-node tensor-parallel attention baseline (§4.2.2).
+
+TP splits *heads* rather than *tokens*: every rank sees the full sequence
+but only ``NH / G`` query heads. When the TP group outgrows the KV head
+count (``G > NKV``), KV heads are replicated across ``G / NKV`` GPUs each —
+"computation is still fully parallelized" but KV memory stops scaling,
+which together with the per-block activation AllReduce is why the paper
+scales out with CP instead.
+
+This module implements the numeric semantics (for lossless-exactness tests
+and head-sharding unit tests); the latency comparison against CP is the job
+of :meth:`repro.perf.latency.LatencySimulator.tp_prefill` (Figure 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention.flash import AttentionResult, flash_attention
+from repro.distributed.process_group import SimProcessGroup
+
+
+def tp_shard_heads(n_heads: int, n_kv_heads: int, group_size: int) -> list[dict]:
+    """Head assignment for a TP group of ``group_size`` ranks.
+
+    Query heads are distributed evenly (``NH / G`` per rank). KV heads are
+    sharded when ``G <= NKV`` and replicated over ``G / NKV`` ranks each
+    otherwise (the paper's multi-node TP configuration).
+
+    Returns:
+        One dict per rank: ``{"q_heads": ndarray, "kv_heads": ndarray}`` of
+        global head indices.
+    """
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+    if n_heads % group_size != 0:
+        raise ValueError(f"NH={n_heads} not divisible by group size {group_size}")
+    if n_heads % n_kv_heads != 0:
+        raise ValueError(f"NH={n_heads} not divisible by NKV={n_kv_heads}")
+    q_per_rank = n_heads // group_size
+    group = n_heads // n_kv_heads  # query heads per kv head
+    shards = []
+    for rank in range(group_size):
+        q_heads = np.arange(rank * q_per_rank, (rank + 1) * q_per_rank, dtype=np.int64)
+        kv_heads = np.unique(q_heads // group)
+        shards.append({"q_heads": q_heads, "kv_heads": kv_heads})
+    return shards
+
+
+def tp_attention(
+    group: SimProcessGroup,
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    *,
+    q_pos: np.ndarray | None = None,
+    k_pos: np.ndarray | None = None,
+    q_seq: np.ndarray | None = None,
+    k_seq: np.ndarray | None = None,
+    scale: float | None = None,
+    block_size: int = 128,
+) -> AttentionResult:
+    """Exact GQA attention executed tensor-parallel across ``group``.
+
+    Each rank computes its query-head slice against its (possibly
+    replicated) KV-head slice; outputs concatenate across ranks — attention
+    itself needs no reduction (the AllReduce in a real block belongs to the
+    output projection, which the cost model charges separately). An
+    AllGather of the head outputs stands in for that projection's data
+    movement so the traced traffic is representative.
+
+    Returns the same ``(O, LSE)`` a single-device kernel produces.
+    """
+    n = group.world_size
+    nh, nkv = q.shape[1], k.shape[1]
+    shards = tp_shard_heads(nh, nkv, n)
+
+    partial = []
+    for rank in range(n):
+        qh = shards[rank]["q_heads"]
+        kvh = shards[rank]["kv_heads"]
+        # remap local query heads onto the local KV-head slice
+        local_q = q[:, qh, :]
+        local_k = k[:, kvh, :]
+        local_v = v[:, kvh, :]
+        # local GQA grouping: local NH / local NKV must stay integral
+        if local_q.shape[1] % local_k.shape[1] != 0:
+            raise ValueError(
+                f"rank {rank}: local head split {local_q.shape[1]}/{local_k.shape[1]} "
+                "is not a valid GQA grouping"
+            )
+        res = flash_attention(
+            local_q,
+            local_k,
+            local_v,
+            q_pos=q_pos,
+            k_pos=k_pos,
+            q_seq=q_seq,
+            k_seq=k_seq,
+            causal=True,
+            scale=scale,
+            block_size=block_size,
+        )
+        partial.append(res)
+
+    gathered = group.all_gather(
+        [{"out": p.out, "lse": p.lse} for p in partial], tag="tp-output"
+    )
+    # every rank reconstructs the full-head output identically; return rank 0's
+    outs = gathered[0]
+    out = np.concatenate([o["out"] for o in outs], axis=1)
+    lse = np.concatenate([o["lse"] for o in outs], axis=1)
+    return AttentionResult(out=out, lse=lse)

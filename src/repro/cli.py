@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``experiments [--markdown] [--only ID]`` — regenerate the paper's tables
+  and figures (plus extension experiments) and print them.
+- ``plan --context N [--sla S]`` — smallest CP deployment meeting a TTFT
+  SLA for Llama3 405B on GTT.
+- ``heuristic --new-tokens T --cached P [--ranks N]`` — what each selector
+  chooses for a partial prefill.
+- ``demo [--world N] [--tokens T]`` — run the numeric engine end-to-end
+  and report the losslessness error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        capacity_scaling,
+        disaggregation,
+        gqa_sensitivity,
+        pp_vs_cp,
+        report,
+        serving_load,
+    )
+
+    results = report.run_all(include_fig10=not args.fast)
+    results.append(capacity_scaling.run())
+    results.append(gqa_sensitivity.run())
+    results.append(disaggregation.run())
+    results.append(pp_vs_cp.run())
+    if not args.fast:
+        results.append(serving_load.run())
+    for res in results:
+        if args.only and args.only.lower() not in res.experiment_id.lower():
+            continue
+        print(res.render_markdown() if args.markdown else res.render())
+        print()
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.model.config import llama3_405b_config
+    from repro.perf.flops import mfu, model_flops
+    from repro.perf.hardware import gti_host, gtt_host
+    from repro.perf.latency import LatencySimulator
+
+    host = gti_host() if args.platform == "gti" else gtt_host()
+    sim = LatencySimulator(llama3_405b_config(), host)
+    print(f"planning {args.context} tokens on {host.name}, SLA {args.sla:.1f}s")
+    for n in (1, 2, 4, 8, 16, 32):
+        ttft = sim.cp_prefill(args.context, n_ranks=n).total
+        flops = model_flops(sim.config, args.context)
+        util = mfu(flops, ttft, n * host.gpus_per_host, host.gpu.peak_flops)
+        marker = " <-- meets SLA" if ttft <= args.sla else ""
+        print(f"  CP{n:<3} ({n * host.gpus_per_host:>3} GPUs): "
+              f"TTFT {ttft:8.2f}s  MFU {util:5.1%}{marker}")
+        if ttft <= args.sla:
+            return 0
+    print("  no configuration meets the SLA")
+    return 1
+
+
+def _cmd_heuristic(args: argparse.Namespace) -> int:
+    from repro.core.heuristics import (
+        select_algo_empirical,
+        select_algo_simple,
+        select_algo_with_all2all,
+    )
+    from repro.model.config import llama3_405b_config
+    from repro.perf.hardware import gtt_host
+    from repro.perf.latency import LatencySimulator
+
+    sim = LatencySimulator(llama3_405b_config(), gtt_host())
+    hc = sim.heuristic_config(args.ranks)
+    t, p = args.new_tokens, args.cached
+    rate = t / (t + p) if t + p else 0.0
+    print(f"T={t} P={p} miss rate={rate:.2%} on CP{args.ranks}")
+    print(f"  Algorithm 1:        {select_algo_simple(hc, t, p).value}")
+    print(f"  Algorithm 5:        {select_algo_with_all2all(hc, t, p).value}")
+    print(f"  empirical (paper):  {select_algo_empirical(t, p).value}")
+    print(f"  simulated oracle:   {sim.best_algo(t, p, n_ranks=args.ranks).value}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core.engine import ContextParallelEngine
+    from repro.model.config import tiny_config
+    from repro.model.llama import LlamaModel
+
+    model = LlamaModel(tiny_config(), seed=0)
+    engine = ContextParallelEngine(model, world_size=args.world)
+    toks = (np.arange(args.tokens) * 13) % model.config.vocab_size
+    out = engine.prefill({0: toks})
+    err = float(np.abs(out.logits[0] - model.forward(toks)).max())
+    generated = engine.generate({1: toks[: args.tokens // 2]}, max_new_tokens=4)
+    print(f"world={args.world} tokens={args.tokens}")
+    print(f"prefill algo: {out.plan.algo.value}")
+    print(f"losslessness max error vs single device: {err:.3e}")
+    print(f"sample generation: {generated[1]}")
+    print(f"comm bytes by kind: {engine.tracer.bytes_by_kind()}")
+    return 0 if err < 1e-8 else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.engine import ContextParallelEngine
+    from repro.distributed.timeline import save_chrome_trace
+    from repro.model.config import tiny_config
+    from repro.model.llama import LlamaModel
+
+    model = LlamaModel(tiny_config(), seed=0)
+    engine = ContextParallelEngine(model, world_size=args.world)
+    toks = np.arange(args.tokens) % model.config.vocab_size
+    engine.prefill({0: toks})
+    engine.generate({0: np.array([1])}, max_new_tokens=args.decode_steps)
+    save_chrome_trace(engine.tracer, args.output, process_name=f"cp{args.world}")
+    print(f"wrote {len(engine.tracer)} traced events to {args.output}")
+    print(engine.tracer.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Context Parallelism for Scalable Million-Token Inference - reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p_exp.add_argument("--markdown", action="store_true", help="emit markdown tables")
+    p_exp.add_argument("--only", default="", help="filter by experiment id substring")
+    p_exp.add_argument("--fast", action="store_true", help="skip the slow sweeps")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_plan = sub.add_parser("plan", help="size a CP deployment for a TTFT SLA")
+    p_plan.add_argument("--context", type=int, required=True)
+    p_plan.add_argument("--sla", type=float, default=60.0)
+    p_plan.add_argument("--platform", choices=["gtt", "gti"], default="gtt")
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_h = sub.add_parser("heuristic", help="pass-KV vs pass-Q selection for (T, P)")
+    p_h.add_argument("--new-tokens", type=int, required=True)
+    p_h.add_argument("--cached", type=int, required=True)
+    p_h.add_argument("--ranks", type=int, default=4)
+    p_h.set_defaults(func=_cmd_heuristic)
+
+    p_demo = sub.add_parser("demo", help="numeric engine end-to-end check")
+    p_demo.add_argument("--world", type=int, default=4)
+    p_demo.add_argument("--tokens", type=int, default=32)
+    p_demo.set_defaults(func=_cmd_demo)
+
+    p_trace = sub.add_parser("trace", help="export a Chrome trace of a demo run")
+    p_trace.add_argument("--world", type=int, default=4)
+    p_trace.add_argument("--tokens", type=int, default=48)
+    p_trace.add_argument("--decode-steps", type=int, default=4)
+    p_trace.add_argument("--output", default="cp_trace.json")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Core contribution: context-parallel ring attention for inference.
+
+This package implements the paper's primary contribution on top of the
+substrates (:mod:`repro.attention`, :mod:`repro.distributed`,
+:mod:`repro.kvcache`, :mod:`repro.model`, :mod:`repro.perf`):
+
+- :mod:`repro.core.sharding` — load-balanced 2N-chunk sharding (§3.5.1).
+- :mod:`repro.core.merge` — merge attention (Appendix B, Eq. 4).
+- :mod:`repro.core.ring_passkv` — Algorithm 2: fused varseq ring pass-KV
+  partial/full prefill.
+- :mod:`repro.core.ring_passq` — Algorithm 3: ring pass-Q prefill with
+  permute + All2All output restore.
+- :mod:`repro.core.ring_decode` — Algorithm 4: batched round-robin ring
+  pass-Q decode.
+- :mod:`repro.core.heuristics` — Algorithms 1 & 5 and the empirical
+  ``h(T, P)`` selector (Appendix D).
+- :mod:`repro.core.engine` — the multi-turn context-parallel inference
+  engine tying everything together (full prefill -> decode -> partial
+  prefill with persistent sharded KV cache).
+"""
+
+from repro.core.heuristics import (
+    HeuristicConfig,
+    RingAlgo,
+    select_algo_simple,
+    select_algo_with_all2all,
+    select_algo_empirical,
+)
+from repro.core.merge import merge_attention, merge_partials
+from repro.core.ring_decode import ring_passq_decode
+from repro.core.ring_passkv import ring_passkv_prefill
+from repro.core.ring_passq import ring_passq_prefill
+from repro.core.sharding import (
+    ShardedKV,
+    ShardedQueries,
+    SequenceSpec,
+    load_balanced_chunks,
+    pad_kv_shards,
+    shard_positions,
+    shard_sequences,
+)
+
+__all__ = [
+    "HeuristicConfig",
+    "RingAlgo",
+    "SequenceSpec",
+    "ShardedKV",
+    "ShardedQueries",
+    "load_balanced_chunks",
+    "merge_attention",
+    "merge_partials",
+    "pad_kv_shards",
+    "ring_passkv_prefill",
+    "ring_passq_decode",
+    "ring_passq_prefill",
+    "select_algo_empirical",
+    "select_algo_simple",
+    "select_algo_with_all2all",
+    "shard_positions",
+    "shard_sequences",
+]

@@ -1,0 +1,395 @@
+"""Context-parallel inference engine: multi-turn prefill + decode.
+
+:class:`ContextParallelEngine` is the integration layer that turns the
+paper's pieces into a serving loop:
+
+- **Full prefill** (first user turn): new tokens are load-balance sharded
+  (§3.5.1), each rank projects Q/K/V locally, appends its KV shard to its
+  persistent cache, and the planner-selected ring algorithm (pass-KV for
+  full prefill) computes exact attention; linear stages stay rank-local.
+- **Partial (persistent-KV) prefill** (follow-up turns): identical flow,
+  but the cached tokens stay wherever earlier turns placed them and only
+  the new tokens are re-sharded (Figure 2); the planner may flip to pass-Q
+  at high cache-hit rates.
+- **Decode**: one token per sequence per step, assigned round-robin with a
+  per-step offset so generated KV spreads across ranks (§3.6), attention by
+  batched ring pass-Q decode (Algorithm 4).
+
+Everything is lockstep-simulated but *numerically real*: the engine's
+logits are tested to match a single-device forward of the same model on the
+same token history — the paper's "lossless exact" property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.heuristics import HeuristicConfig, RingAlgo
+from repro.core.planner import PrefillPlan, PrefillPlanner, SelectorKind
+from repro.core.ring_decode import DecodeBatch, ring_passq_decode
+from repro.core.ring_passkv import ring_passkv_prefill
+from repro.core.ring_passq import ring_passq_prefill
+from repro.core.sharding import SequenceSpec, ShardedQueries, shard_sequences
+from repro.distributed.process_group import SimProcessGroup
+from repro.distributed.topology import ClusterTopology
+from repro.distributed.tracer import CommTracer
+from repro.kvcache.cache import RankKVCache
+from repro.model.llama import LlamaModel
+
+
+@dataclass
+class PrefillOutput:
+    """Result of one prefill round.
+
+    Attributes:
+        logits: per-sequence ``[T_new, vocab]`` logits in position order.
+        plan: the planner decision that ran this round.
+    """
+
+    logits: dict[int, np.ndarray]
+    plan: PrefillPlan
+
+    def last_logits(self, seq_id: int) -> np.ndarray:
+        """Logits of the final new token of ``seq_id`` (next-token logits)."""
+        return self.logits[seq_id][-1]
+
+
+@dataclass
+class DecodeOutput:
+    """Result of one decode step.
+
+    Attributes:
+        logits: per-sequence ``[vocab]`` next-token logits.
+        assignment: per-sequence owning rank this step.
+    """
+
+    logits: dict[int, np.ndarray]
+    assignment: dict[int, int]
+
+
+class ContextParallelEngine:
+    """Multi-turn context-parallel inference over a simulated CP group.
+
+    Args:
+        model: the stage-decomposed transformer.
+        world_size: number of CP ranks.
+        topology: cluster wiring (defaults to a generic simulated fabric).
+        heuristic: hardware constants for the pass-KV/pass-Q selector.
+        selector: which published selector the planner runs.
+        capacity_tokens: optional per-rank KV capacity (OOM experiments).
+        block_size: local flash kernel block size.
+        quantized_kv_cache: store KV int8-quantized (2x capacity, slightly
+            lossy logits; see :mod:`repro.kvcache.quantized`).
+    """
+
+    def __init__(
+        self,
+        model: LlamaModel,
+        world_size: int,
+        *,
+        topology: ClusterTopology | None = None,
+        heuristic: HeuristicConfig | None = None,
+        selector: SelectorKind = SelectorKind.ALL2ALL_AWARE,
+        capacity_tokens: int | None = None,
+        block_size: int = 128,
+        quantized_kv_cache: bool = False,
+    ):
+        self.model = model
+        self.world_size = world_size
+        self.tracer = CommTracer()
+        self.group = SimProcessGroup(world_size, topology=topology, tracer=self.tracer)
+        self.planner = PrefillPlanner(heuristic, selector=selector)
+        self.block_size = block_size
+        cfg = model.config
+        self.caches = [
+            RankKVCache(
+                cfg.n_layers,
+                cfg.n_kv_heads,
+                cfg.head_dim,
+                capacity_tokens=capacity_tokens,
+                quantized=quantized_kv_cache,
+            )
+            for _ in range(world_size)
+        ]
+        self.seq_lengths: dict[int, int] = {}
+        self.decode_steps = 0
+
+    # ------------------------------------------------------------------ #
+    # prefill (full and partial)
+    # ------------------------------------------------------------------ #
+
+    def prefill(
+        self,
+        prompts: dict[int, np.ndarray],
+        *,
+        force_algo: RingAlgo | None = None,
+    ) -> PrefillOutput:
+        """Run one prefill round over a fused batch of sequences.
+
+        Args:
+            prompts: ``{seq_id: new token ids}``. Sequences already known to
+                the engine are treated as partial prefill (the new tokens
+                extend the cached history); unknown ids start fresh.
+            force_algo: override the heuristic (used by benchmarks that
+                sweep both variants).
+
+        Returns:
+            :class:`PrefillOutput` with per-sequence logits for every new
+            token position.
+        """
+        if not prompts:
+            raise ValueError("prefill requires at least one sequence")
+        cfg = self.model.config
+        specs = []
+        new_ids: dict[int, np.ndarray] = {}
+        for sid, ids in sorted(prompts.items()):
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.ndim != 1 or ids.size == 0:
+                raise ValueError(f"sequence {sid}: token ids must be a non-empty 1-D array")
+            specs.append(SequenceSpec(sid, int(ids.size), self.seq_lengths.get(sid, 0)))
+            new_ids[sid] = ids
+        plan = self.planner.plan(specs, force_algo=force_algo)
+
+        shards = shard_sequences(specs, self.world_size)
+        cached = {s.seq_id: s.cached_tokens for s in specs}
+
+        # Per-rank token ids resolved from (seq, pos) coordinates.
+        rank_tokens = []
+        for positions, seq_ids in shards:
+            toks = np.empty(positions.shape[0], dtype=np.int64)
+            for i, (pos, sid) in enumerate(zip(positions, seq_ids)):
+                toks[i] = new_ids[int(sid)][int(pos) - cached[int(sid)]]
+            rank_tokens.append(toks)
+
+        # Stage pipeline: local embed -> (per layer: local qkv + cache
+        # append, ring attention, local residual/FFN) -> local unembed.
+        xs = [self.model.embed(toks) for toks in rank_tokens]
+        batch_sids = [s.seq_id for s in specs]
+        for layer in range(cfg.n_layers):
+            queries = []
+            for rank in range(self.world_size):
+                positions, seq_ids = shards[rank]
+                q, k, v = self.model.attn_qkv(layer, xs[rank], positions)
+                for sid in batch_sids:
+                    idx = np.nonzero(seq_ids == sid)[0]
+                    if idx.size:
+                        self.caches[rank].append(layer, sid, k[idx], v[idx], positions[idx])
+                queries.append(ShardedQueries(q=q, positions=positions, seq_ids=seq_ids))
+            kv_shards = [self.caches[rank].get(layer, batch_sids) for rank in range(self.world_size)]
+            if plan.algo is RingAlgo.PASS_KV:
+                results = ring_passkv_prefill(
+                    self.group, queries, kv_shards, block_size=self.block_size
+                )
+            else:
+                results = ring_passq_prefill(
+                    self.group, queries, kv_shards, block_size=self.block_size
+                )
+            for rank in range(self.world_size):
+                xs[rank] = self.model.attn_residual(layer, xs[rank], results[rank].out)
+                xs[rank] = self.model.ffn_residual(layer, xs[rank])
+
+        # Reassemble per-sequence logits in position order.
+        logits: dict[int, np.ndarray] = {}
+        for spec in specs:
+            rows = np.empty((spec.new_tokens, cfg.vocab_size))
+            for rank in range(self.world_size):
+                positions, seq_ids = shards[rank]
+                idx = np.nonzero(seq_ids == spec.seq_id)[0]
+                if idx.size == 0:
+                    continue
+                rank_logits = self.model.unembed(xs[rank][idx])
+                rows[positions[idx] - spec.cached_tokens] = rank_logits
+            logits[spec.seq_id] = rows
+            self.seq_lengths[spec.seq_id] = spec.cached_tokens + spec.new_tokens
+        return PrefillOutput(logits=logits, plan=plan)
+
+    def prefill_chunked(
+        self,
+        seq_id: int,
+        token_ids: np.ndarray,
+        *,
+        chunk_tokens: int,
+        force_algo: RingAlgo | None = None,
+    ) -> PrefillOutput:
+        """Prefill one long prompt as a sequence of partial prefills.
+
+        Chunked prefill bounds peak activation memory for very long
+        prompts: each chunk runs as a partial prefill against the KV cached
+        by the previous chunks. Because the algorithms are exact, the
+        concatenated logits equal a one-shot prefill's (tested).
+
+        Args:
+            seq_id: sequence to extend.
+            token_ids: the full new prompt.
+            chunk_tokens: chunk size (>= 1).
+            force_algo: optional override applied to every chunk.
+
+        Returns:
+            A :class:`PrefillOutput` whose logits cover the whole prompt;
+            ``plan`` is the final chunk's plan.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if chunk_tokens < 1:
+            raise ValueError(f"chunk_tokens must be >= 1, got {chunk_tokens}")
+        if token_ids.ndim != 1 or token_ids.size == 0:
+            raise ValueError("token_ids must be a non-empty 1-D array")
+        pieces: list[np.ndarray] = []
+        plan = None
+        for start in range(0, token_ids.size, chunk_tokens):
+            out = self.prefill(
+                {seq_id: token_ids[start : start + chunk_tokens]},
+                force_algo=force_algo,
+            )
+            pieces.append(out.logits[seq_id])
+            plan = out.plan
+        assert plan is not None
+        return PrefillOutput(logits={seq_id: np.concatenate(pieces, axis=0)}, plan=plan)
+
+    # ------------------------------------------------------------------ #
+    # decode
+    # ------------------------------------------------------------------ #
+
+    def decode(self, tokens: dict[int, int]) -> DecodeOutput:
+        """Run one decode step: one new token per listed sequence.
+
+        Args:
+            tokens: ``{seq_id: token id}`` — the tokens sampled from the
+                previous step's logits. All sequences must have been
+                prefetched via :meth:`prefill`.
+
+        Returns:
+            :class:`DecodeOutput` with per-sequence next-token logits.
+        """
+        if not tokens:
+            raise ValueError("decode requires at least one sequence")
+        cfg = self.model.config
+        sids = sorted(tokens)
+        for sid in sids:
+            if sid not in self.seq_lengths:
+                raise KeyError(f"sequence {sid} has no prefilled context")
+        b = len(sids)
+        token_arr = np.array([tokens[sid] for sid in sids], dtype=np.int64)
+        positions = np.array([self.seq_lengths[sid] for sid in sids], dtype=np.int64)
+        seq_arr = np.array(sids, dtype=np.int64)
+
+        from repro.core.ring_decode import round_robin_assignment
+
+        assignment = round_robin_assignment(b, self.world_size, self.decode_steps)
+        rank_slots = [np.nonzero(assignment == rank)[0] for rank in range(self.world_size)]
+
+        xs = [self.model.embed(token_arr[slots]) for slots in rank_slots]
+        for layer in range(cfg.n_layers):
+            q_batch = np.zeros((b, cfg.n_heads, cfg.head_dim))
+            for rank, slots in enumerate(rank_slots):
+                if slots.size == 0:
+                    continue
+                q, k, v = self.model.attn_qkv(layer, xs[rank], positions[slots])
+                q_batch[slots] = q
+                for i, slot in enumerate(slots):
+                    self.caches[rank].append(
+                        layer, int(seq_arr[slot]), k[i : i + 1], v[i : i + 1],
+                        positions[slot : slot + 1],
+                    )
+            kv_shards = [self.caches[rank].get(layer, sids) for rank in range(self.world_size)]
+            batch = DecodeBatch(q=q_batch, positions=positions, seq_ids=seq_arr)
+            result, _ = ring_passq_decode(
+                self.group, kv_shards, batch, step=self.decode_steps,
+                block_size=self.block_size,
+            )
+            for rank, slots in enumerate(rank_slots):
+                if slots.size == 0:
+                    continue
+                xs[rank] = self.model.attn_residual(layer, xs[rank], result.out[slots])
+                xs[rank] = self.model.ffn_residual(layer, xs[rank])
+
+        logits: dict[int, np.ndarray] = {}
+        for rank, slots in enumerate(rank_slots):
+            if slots.size == 0:
+                continue
+            rank_logits = self.model.unembed(xs[rank])
+            for i, slot in enumerate(slots):
+                logits[int(seq_arr[slot])] = rank_logits[i]
+        for sid in sids:
+            self.seq_lengths[sid] += 1
+        self.decode_steps += 1
+        return DecodeOutput(
+            logits=logits,
+            assignment={int(seq_arr[i]): int(assignment[i]) for i in range(b)},
+        )
+
+    # ------------------------------------------------------------------ #
+    # generation convenience
+    # ------------------------------------------------------------------ #
+
+    def generate(
+        self,
+        prompts: dict[int, np.ndarray],
+        *,
+        max_new_tokens: int,
+        temperature: float | None = None,
+        rng: np.random.Generator | None = None,
+        stop_tokens: set[int] | None = None,
+    ) -> dict[int, list[int]]:
+        """Prefill + autoregressive decode in one call.
+
+        Args:
+            prompts: ``{seq_id: token ids}`` — full or follow-up prompts.
+            max_new_tokens: decode budget per sequence.
+            temperature: ``None`` = greedy; otherwise softmax sampling.
+            rng: generator for temperature sampling (required when
+                ``temperature`` is set).
+            stop_tokens: token ids that end a sequence's generation early.
+
+        Returns:
+            ``{seq_id: generated token ids}`` (may be shorter than the
+            budget when a stop token fires).
+        """
+        from repro.model.sampling import sample_greedy, sample_temperature
+
+        if max_new_tokens < 0:
+            raise ValueError(f"max_new_tokens must be >= 0, got {max_new_tokens}")
+        if temperature is not None and rng is None:
+            raise ValueError("temperature sampling requires an rng")
+        out = self.prefill(prompts)
+        generated: dict[int, list[int]] = {sid: [] for sid in prompts}
+        next_logits = {sid: out.last_logits(sid) for sid in prompts}
+        live = set(prompts)
+        for _ in range(max_new_tokens):
+            if not live:
+                break
+            tokens: dict[int, int] = {}
+            for sid in sorted(live):
+                logits = next_logits[sid]
+                if temperature is None:
+                    tok = int(sample_greedy(logits))
+                else:
+                    tok = int(sample_temperature(logits[None, :], temperature, rng)[0])
+                tokens[sid] = tok
+                generated[sid].append(tok)
+            step = self.decode(tokens)
+            for sid, tok in tokens.items():
+                if stop_tokens and tok in stop_tokens:
+                    live.discard(sid)
+                else:
+                    next_logits[sid] = step.logits[sid]
+        return generated
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def release(self, seq_id: int) -> None:
+        """Evict a finished conversation from every rank's cache."""
+        for cache in self.caches:
+            cache.drop(seq_id)
+        self.seq_lengths.pop(seq_id, None)
+
+    def cached_tokens(self, seq_id: int) -> list[int]:
+        """Per-rank cached token counts for ``seq_id`` (balance diagnostics)."""
+        return [cache.tokens(seq_id) for cache in self.caches]
+
+    def context_length(self, seq_id: int) -> int:
+        """Committed context length of ``seq_id``."""
+        return self.seq_lengths.get(seq_id, 0)

@@ -1,0 +1,56 @@
+"""Merge attention (paper Appendix B, Equation 4).
+
+Each CP rank ends a ring sweep holding N partial attention results
+``(O_s, LSE_s)`` for its queries — one per KV shard origin ``s``. The exact
+attention over the full context is their LSE-weighted combination:
+
+    O = sum_s O_s * exp(LSE_s - LSE_max) / sum_s exp(LSE_s - LSE_max)
+
+This module wraps :class:`repro.attention.online_softmax.OnlineSoftmaxState`
+with the list-of-partials interface the ring algorithms use, mirroring the
+open-sourced xformers ``merge_attentions`` operator the paper cites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention.flash import AttentionResult
+from repro.attention.online_softmax import OnlineSoftmaxState
+
+
+def merge_partials(partials: list[AttentionResult]) -> AttentionResult:
+    """Merge partial attention results over disjoint KV shards.
+
+    Args:
+        partials: non-empty list of :class:`AttentionResult` computed for the
+            *same* queries against disjoint key/value sets. Empty partials
+            (``LSE = -inf``) are valid and act as identity elements.
+
+    Returns:
+        Exact combined :class:`AttentionResult`.
+
+    Raises:
+        ValueError: on empty input or shape mismatches between partials.
+    """
+    if not partials:
+        raise ValueError("merge_partials requires at least one partial result")
+    first = partials[0]
+    state = OnlineSoftmaxState(out_shape=first.out.shape, lse_shape=first.lse.shape)
+    for partial in partials:
+        if partial.out.shape != first.out.shape or partial.lse.shape != first.lse.shape:
+            raise ValueError(
+                f"partial shapes differ: {partial.out.shape}/{partial.lse.shape} "
+                f"vs {first.out.shape}/{first.lse.shape}"
+            )
+        state.update(partial.out, partial.lse)
+    out, lse = state.finalize()
+    return AttentionResult(out=out, lse=lse)
+
+
+def merge_attention(outs: list[np.ndarray], lses: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Array-level convenience wrapper around :func:`merge_partials`."""
+    if len(outs) != len(lses):
+        raise ValueError(f"got {len(outs)} outputs but {len(lses)} LSEs")
+    merged = merge_partials([AttentionResult(out=o, lse=l) for o, l in zip(outs, lses)])
+    return merged.out, merged.lse

@@ -1,0 +1,339 @@
+"""Load-balanced context-parallel sharding (paper §3.5.1, Figures 1-2).
+
+Naively splitting a causal sequence into N contiguous shards gives rank 0
+almost no attention work (its tokens see few keys) and rank N-1 nearly all
+of it. The paper's remedy: split the sequence into ``2N`` contiguous chunks
+``C_0 .. C_{2N-1}`` and give rank ``i`` the pair ``(C_i, C_{2N-1-i})`` —
+one "early" chunk and one mirrored "late" chunk. Every rank then owns the
+same token count (balancing KV-cache bytes) and, summed over its two chunks,
+the same causal attention area (balancing FLOPs).
+
+Three use cases, all reduced to the same primitive:
+
+- **Full prefill** of fused variable-length batches: each sequence is
+  sharded independently and each rank concatenates its slices (Figure 1).
+- **Partial prefill**: only the *new* tokens (positions ``[P, P+T)``) are
+  load-balance sharded; cached tokens keep whatever layout previous turns
+  gave them (Figure 2).
+- **Decode** round-robin sharding lives in :mod:`repro.core.ring_decode`.
+
+Every sharded token carries its absolute ``(seq_id, position)`` so causal
+masks remain exact under the permutation (see :mod:`repro.attention.masks`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attention.masks import PAD_SEQ
+
+
+@dataclass(frozen=True)
+class SequenceSpec:
+    """One sequence in a (possibly fused) prefill batch.
+
+    Attributes:
+        seq_id: stable identifier of the sequence (batch slot / request id).
+        new_tokens: number of tokens to prefill this turn (paper ``T^i``).
+        cached_tokens: tokens already in the persistent KV cache (``P^i``).
+    """
+
+    seq_id: int
+    new_tokens: int
+    cached_tokens: int = 0
+
+    def __post_init__(self) -> None:
+        if self.new_tokens < 0 or self.cached_tokens < 0:
+            raise ValueError(f"token counts must be non-negative: {self}")
+
+    @property
+    def total_tokens(self) -> int:
+        return self.new_tokens + self.cached_tokens
+
+    @property
+    def miss_rate(self) -> float:
+        """KV-cache miss rate ``T / (T + P)`` — the paper's heuristic input."""
+        if self.total_tokens == 0:
+            return 0.0
+        return self.new_tokens / self.total_tokens
+
+
+@dataclass
+class ShardedQueries:
+    """One rank's query-side tokens (projected Q plus coordinates)."""
+
+    q: np.ndarray  # [n, NH, DH]
+    positions: np.ndarray  # [n] absolute positions within each token's sequence
+    seq_ids: np.ndarray  # [n]
+
+    def __post_init__(self) -> None:
+        _validate_coords(self.q, self.positions, self.seq_ids)
+
+    def __len__(self) -> int:
+        return self.q.shape[0]
+
+
+@dataclass
+class ShardedKV:
+    """One rank's key/value tokens (cached plus freshly projected)."""
+
+    k: np.ndarray  # [n, NKV, DH]
+    v: np.ndarray  # [n, NKV, DH]
+    positions: np.ndarray  # [n]
+    seq_ids: np.ndarray  # [n]
+
+    def __post_init__(self) -> None:
+        if self.k.shape != self.v.shape:
+            raise ValueError(f"k {self.k.shape} and v {self.v.shape} must match")
+        _validate_coords(self.k, self.positions, self.seq_ids)
+
+    def __len__(self) -> int:
+        return self.k.shape[0]
+
+    @staticmethod
+    def empty(n_kv_heads: int, head_dim: int) -> "ShardedKV":
+        return ShardedKV(
+            k=np.zeros((0, n_kv_heads, head_dim)),
+            v=np.zeros((0, n_kv_heads, head_dim)),
+            positions=np.zeros(0, dtype=np.int64),
+            seq_ids=np.zeros(0, dtype=np.int64),
+        )
+
+    @staticmethod
+    def concat(shards: list["ShardedKV"]) -> "ShardedKV":
+        if not shards:
+            raise ValueError("cannot concat zero shards")
+        return ShardedKV(
+            k=np.concatenate([s.k for s in shards], axis=0),
+            v=np.concatenate([s.v for s in shards], axis=0),
+            positions=np.concatenate([s.positions for s in shards]),
+            seq_ids=np.concatenate([s.seq_ids for s in shards]),
+        )
+
+
+def _validate_coords(x: np.ndarray, positions: np.ndarray, seq_ids: np.ndarray) -> None:
+    if x.ndim != 3:
+        raise ValueError(f"expected [tokens, heads, head_dim], got {x.shape}")
+    n = x.shape[0]
+    if positions.shape != (n,) or seq_ids.shape != (n,):
+        raise ValueError(
+            f"coordinate shapes {positions.shape}/{seq_ids.shape} must be ({n},)"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# chunking
+# --------------------------------------------------------------------------- #
+
+
+def load_balanced_chunks(length: int, world_size: int) -> list[tuple[int, int]]:
+    """Split ``[0, length)`` into ``2 * world_size`` contiguous chunks.
+
+    Chunk sizes differ by at most one token (``np.array_split`` convention:
+    earlier chunks take the remainder). Returns ``[(start, stop), ...]`` of
+    length ``2 * world_size``; zero-length chunks appear when
+    ``length < 2 * world_size``.
+    """
+    if length < 0:
+        raise ValueError(f"length must be >= 0, got {length}")
+    if world_size < 1:
+        raise ValueError(f"world_size must be >= 1, got {world_size}")
+    edges = np.linspace(0, length, 2 * world_size + 1, dtype=np.int64)
+    # linspace can be non-integer-spaced; enforce the array_split convention
+    # (sizes floor/ceil of length / 2N) for stable, testable chunking.
+    n_chunks = 2 * world_size
+    base, extra = divmod(length, n_chunks)
+    sizes = [base + 1 if i < extra else base for i in range(n_chunks)]
+    edges = np.concatenate([[0], np.cumsum(sizes)])
+    return [(int(edges[i]), int(edges[i + 1])) for i in range(n_chunks)]
+
+
+def rank_chunks(length: int, world_size: int, rank: int) -> list[tuple[int, int]]:
+    """The two chunks ``(C_rank, C_{2N-1-rank})`` assigned to ``rank``."""
+    if not 0 <= rank < world_size:
+        raise ValueError(f"rank {rank} out of range [0, {world_size})")
+    chunks = load_balanced_chunks(length, world_size)
+    return [chunks[rank], chunks[2 * world_size - 1 - rank]]
+
+
+def shard_positions(
+    length: int, world_size: int, *, offset: int = 0
+) -> list[np.ndarray]:
+    """Per-rank absolute positions for a single sequence of ``length`` tokens.
+
+    Args:
+        length: number of tokens being sharded this turn.
+        world_size: number of CP ranks.
+        offset: first absolute position (``P`` for partial prefill: new
+            tokens live at positions ``[P, P+T)``).
+
+    Returns:
+        ``world_size`` int64 arrays; rank ``i`` holds the concatenation of
+        its early chunk and its mirrored late chunk, in position order per
+        chunk. Together the arrays partition ``[offset, offset + length)``.
+    """
+    out = []
+    for rank in range(world_size):
+        pieces = [
+            np.arange(start + offset, stop + offset, dtype=np.int64)
+            for start, stop in rank_chunks(length, world_size, rank)
+        ]
+        out.append(np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.int64))
+    return out
+
+
+def shard_sequences(
+    specs: list[SequenceSpec], world_size: int
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Fused varseq sharding: per-rank ``(positions, seq_ids)`` arrays.
+
+    Each sequence's *new* tokens are load-balance sharded independently
+    (Figures 1-2); rank ``i``'s tokens are the concatenation over sequences
+    of its slices, preserving batch order. Cached tokens are untouched: they
+    already live in the per-rank KV cache from earlier turns.
+    """
+    if world_size < 1:
+        raise ValueError(f"world_size must be >= 1, got {world_size}")
+    per_rank_pos: list[list[np.ndarray]] = [[] for _ in range(world_size)]
+    per_rank_seq: list[list[np.ndarray]] = [[] for _ in range(world_size)]
+    for spec in specs:
+        shards = shard_positions(spec.new_tokens, world_size, offset=spec.cached_tokens)
+        for rank, pos in enumerate(shards):
+            per_rank_pos[rank].append(pos)
+            per_rank_seq[rank].append(np.full(pos.shape[0], spec.seq_id, dtype=np.int64))
+    result = []
+    for rank in range(world_size):
+        if per_rank_pos[rank]:
+            result.append(
+                (np.concatenate(per_rank_pos[rank]), np.concatenate(per_rank_seq[rank]))
+            )
+        else:
+            result.append((np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)))
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# padding (ring message-size invariant)
+# --------------------------------------------------------------------------- #
+
+
+def pad_kv_shards(shards: list[ShardedKV]) -> tuple[list[ShardedKV], int]:
+    """Pad per-rank KV shards to equal length per sequence (Algorithm 2).
+
+    The ring algorithm must exchange equal-sized messages between CP ranks
+    ("to adhere to collective communication interfaces"). Multi-turn chat,
+    padding and decode leave ranks holding slightly different KV counts, so
+    for every sequence ``i`` present on any rank we pad each rank's slice of
+    that sequence to ``L_i = max_j (P^i_j + T^i_j)``. Padding entries carry
+    ``seq_id = PAD_SEQ`` and are never attended.
+
+    Returns:
+        ``(padded_shards, pad_tokens_total)`` — the second element feeds the
+        perf model, since padded bytes travel the wire like real ones.
+    """
+    if not shards:
+        raise ValueError("need at least one shard")
+    all_seq_ids = sorted(
+        set(int(s) for shard in shards for s in np.unique(shard.seq_ids) if s != PAD_SEQ)
+    )
+    n_kv, dh = shards[0].k.shape[1], shards[0].k.shape[2]
+
+    per_seq_max: dict[int, int] = {}
+    for sid in all_seq_ids:
+        per_seq_max[sid] = max(int(np.count_nonzero(shard.seq_ids == sid)) for shard in shards)
+
+    padded: list[ShardedKV] = []
+    pad_total = 0
+    for shard in shards:
+        pieces_k, pieces_v, pieces_pos, pieces_sid = [], [], [], []
+        for sid in all_seq_ids:
+            idx = np.nonzero(shard.seq_ids == sid)[0]
+            want = per_seq_max[sid]
+            pad = want - idx.shape[0]
+            pad_total += pad
+            pieces_k.append(shard.k[idx])
+            pieces_v.append(shard.v[idx])
+            pieces_pos.append(shard.positions[idx])
+            pieces_sid.append(np.full(idx.shape[0], sid, dtype=np.int64))
+            if pad:
+                pieces_k.append(np.zeros((pad, n_kv, dh), dtype=shard.k.dtype))
+                pieces_v.append(np.zeros((pad, n_kv, dh), dtype=shard.v.dtype))
+                pieces_pos.append(np.zeros(pad, dtype=np.int64))
+                pieces_sid.append(np.full(pad, PAD_SEQ, dtype=np.int64))
+        if pieces_k:
+            padded.append(
+                ShardedKV(
+                    k=np.concatenate(pieces_k, axis=0),
+                    v=np.concatenate(pieces_v, axis=0),
+                    positions=np.concatenate(pieces_pos),
+                    seq_ids=np.concatenate(pieces_sid),
+                )
+            )
+        else:
+            padded.append(ShardedKV.empty(n_kv, dh))
+    lengths = {len(p) for p in padded}
+    assert len(lengths) == 1, f"padding failed to equalise shard lengths: {lengths}"
+    return padded, pad_total
+
+
+def pad_query_shards(shards: list[ShardedQueries]) -> tuple[list[ShardedQueries], int]:
+    """Pad per-rank query shards to a common length (pass-Q invariant).
+
+    Load-balanced sharding already distributes queries within one token of
+    evenly; padding tops every rank up to the max so ring messages are
+    equal-sized. Padding queries carry ``seq_id = PAD_SEQ``; their outputs
+    are discarded after the ring (the paper notes this padding as a decode
+    overhead in Table 8's analysis).
+    """
+    if not shards:
+        raise ValueError("need at least one shard")
+    want = max(len(s) for s in shards)
+    nh, dh = shards[0].q.shape[1], shards[0].q.shape[2]
+    padded = []
+    pad_total = 0
+    for shard in shards:
+        pad = want - len(shard)
+        pad_total += pad
+        if pad == 0:
+            padded.append(shard)
+            continue
+        padded.append(
+            ShardedQueries(
+                q=np.concatenate([shard.q, np.zeros((pad, nh, dh), dtype=shard.q.dtype)], axis=0),
+                positions=np.concatenate([shard.positions, np.zeros(pad, dtype=np.int64)]),
+                seq_ids=np.concatenate([shard.seq_ids, np.full(pad, PAD_SEQ, dtype=np.int64)]),
+            )
+        )
+    return padded, pad_total
+
+
+# --------------------------------------------------------------------------- #
+# diagnostics
+# --------------------------------------------------------------------------- #
+
+
+def causal_flops_per_rank(length: int, world_size: int) -> np.ndarray:
+    """Relative causal-attention work per rank under load-balanced sharding.
+
+    For each rank, sums ``pos + 1`` (the number of keys each query position
+    attends) over the rank's assigned positions of a single full-prefill
+    sequence. Used by tests and the sharding ablation to demonstrate the
+    balance property versus naive contiguous sharding.
+    """
+    shards = shard_positions(length, world_size)
+    return np.array([float(np.sum(pos + 1)) for pos in shards])
+
+
+def naive_flops_per_rank(length: int, world_size: int) -> np.ndarray:
+    """Same metric for naive contiguous sharding (the ablation baseline)."""
+    edges = np.linspace(0, length, world_size + 1, dtype=np.int64)
+    base, extra = divmod(length, world_size)
+    sizes = [base + 1 if i < extra else base for i in range(world_size)]
+    edges = np.concatenate([[0], np.cumsum(sizes)])
+    out = []
+    for rank in range(world_size):
+        pos = np.arange(edges[rank], edges[rank + 1], dtype=np.int64)
+        out.append(float(np.sum(pos + 1)))
+    return np.array(out)

@@ -1,0 +1,70 @@
+"""Chrome-trace export of traced communication events.
+
+The paper debugs its deployment by "inspecting the GPU trace" (§4.2.1);
+this module gives the simulated runtime the same affordance: dump a
+:class:`repro.distributed.tracer.CommTracer` to the Chrome ``chrome://tracing``
+/ Perfetto JSON format, one lane per event kind, events laid out serially
+per lane on the simulated clock.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.distributed.tracer import CommTracer
+
+#: Stable lane ordering for readability.
+_LANES = ["sendrecv", "all2all", "allgather", "allreduce", "attn"]
+
+
+def to_chrome_trace(tracer: CommTracer, *, process_name: str = "cp-sim") -> dict:
+    """Build a Chrome-trace dict from traced events.
+
+    Events of each kind occupy one thread lane; begin times are the running
+    sum of that lane's durations (the lockstep simulator does not record
+    absolute begin timestamps, so lanes show relative occupancy).
+    """
+    trace_events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    lanes = {kind: i for i, kind in enumerate(_LANES)}
+    cursors: dict[str, float] = {}
+    for event in tracer:
+        tid = lanes.setdefault(event.kind, len(lanes))
+        begin_us = cursors.get(event.kind, 0.0)
+        dur_us = event.duration * 1e6
+        trace_events.append(
+            {
+                "name": event.tag or event.kind,
+                "cat": event.kind,
+                "ph": "X",
+                "pid": 0,
+                "tid": tid,
+                "ts": begin_us,
+                "dur": dur_us,
+                "args": {"bytes": event.bytes, "step": event.step},
+            }
+        )
+        cursors[event.kind] = begin_us + dur_us
+    for kind, tid in lanes.items():
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": kind},
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def save_chrome_trace(tracer: CommTracer, path: str, **kwargs) -> None:
+    """Write the trace JSON to ``path`` (open in chrome://tracing)."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(tracer, **kwargs), fh)

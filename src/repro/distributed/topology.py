@@ -1,0 +1,130 @@
+"""Cluster topology: nodes, NICs, and link characteristics.
+
+Encodes the two Grand Teton platform variants from the paper (§4.1):
+
+- **GTT** (Grand Teton Training): hosts inter-connected with a backend RDMA
+  network at 400 Gb/s per GPU.
+- **GTI** (Grand Teton Inference): hosts inter-connected over the frontend
+  TCP/IP network at 100 Gb/s per GPU; the paper's traces show about 3 GB/s
+  *achieved* per rank.
+
+A CP rank in this system is one host (its 8 GPUs form a TP8 group); ring
+messages between CP ranks are 8 parallel SendRecvs, one per KV head, so the
+effective ring bandwidth per CP rank is ``gpus_per_node *`` per-GPU NIC
+bandwidth (each GPU moves only its own KV head's slice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+GBPS = 1e9 / 8  # 1 Gb/s in bytes/second
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """Static description of the CP cluster wiring.
+
+    Attributes:
+        name: human-readable platform name.
+        num_nodes: number of CP ranks (hosts).
+        gpus_per_node: GPUs forming the intra-node TP group (paper: 8).
+        internode_bandwidth: achieved point-to-point bandwidth per **GPU**
+            for inter-host transfers, in bytes/s.
+        intranode_bandwidth: per-GPU NVLink bandwidth in bytes/s (used by
+            the TP baseline's AllReduce model).
+        internode_latency: per-message latency for inter-host sends, in
+            seconds (the alpha term of the alpha-beta model).
+        intranode_latency: per-message latency for NVLink transfers.
+    """
+
+    name: str
+    num_nodes: int
+    gpus_per_node: int
+    internode_bandwidth: float
+    intranode_bandwidth: float
+    internode_latency: float = 20e-6
+    intranode_latency: float = 3e-6
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.gpus_per_node < 1:
+            raise ValueError(f"gpus_per_node must be >= 1, got {self.gpus_per_node}")
+        if self.internode_bandwidth <= 0 or self.intranode_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    @property
+    def world_size(self) -> int:
+        """Number of CP ranks (one per node)."""
+        return self.num_nodes
+
+    @property
+    def total_gpus(self) -> int:
+        return self.num_nodes * self.gpus_per_node
+
+    @property
+    def cp_link_bandwidth(self) -> float:
+        """Aggregate inter-node bandwidth available to one CP ring hop.
+
+        Ring SendRecv between two CP ranks is striped across the
+        ``gpus_per_node`` per-KV-head point-to-point channels (Figure 5), so
+        a CP-rank-level message of ``b`` bytes moves in
+        ``b / cp_link_bandwidth`` seconds.
+        """
+        if self.num_nodes == 1:
+            return self.gpus_per_node * self.intranode_bandwidth
+        return self.gpus_per_node * self.internode_bandwidth
+
+    @property
+    def cp_link_latency(self) -> float:
+        """Per-hop message latency for CP ring messages."""
+        return self.intranode_latency if self.num_nodes == 1 else self.internode_latency
+
+    def with_nodes(self, num_nodes: int) -> "ClusterTopology":
+        """Same platform scaled to a different node count."""
+        return replace(self, num_nodes=num_nodes)
+
+
+def gtt_topology(num_nodes: int, *, gpus_per_node: int = 8) -> ClusterTopology:
+    """Grand Teton Training: 400 Gb/s RDMA per GPU (paper §4.1).
+
+    The achieved point-to-point bandwidth is derated to ~75% of line rate,
+    consistent with the paper's observation that achieved bandwidth and
+    compute sit below theoretical peaks (§3.4 footnote).
+    """
+    return ClusterTopology(
+        name=f"GTT-{num_nodes}n",
+        num_nodes=num_nodes,
+        gpus_per_node=gpus_per_node,
+        internode_bandwidth=0.75 * 400 * GBPS,
+        intranode_bandwidth=450e9,  # H100 NVLink ~450 GB/s effective per GPU
+    )
+
+
+def gti_topology(num_nodes: int, *, gpus_per_node: int = 8) -> ClusterTopology:
+    """Grand Teton Inference: 100 Gb/s TCP per GPU, ~3 GB/s achieved/rank.
+
+    The paper's GPU traces on GTI report roughly 3 GB/s achieved per rank
+    over the frontend network (§4.2.1); we encode that achieved figure
+    directly rather than the NIC line rate.
+    """
+    return ClusterTopology(
+        name=f"GTI-{num_nodes}n",
+        num_nodes=num_nodes,
+        gpus_per_node=gpus_per_node,
+        internode_bandwidth=3e9,
+        intranode_bandwidth=450e9,
+        internode_latency=50e-6,  # TCP stack adds latency over RDMA
+    )
+
+
+def single_node_topology(*, gpus_per_node: int = 8) -> ClusterTopology:
+    """One host: CP1, all communication over NVLink."""
+    return ClusterTopology(
+        name="single-node",
+        num_nodes=1,
+        gpus_per_node=gpus_per_node,
+        internode_bandwidth=450e9,
+        intranode_bandwidth=450e9,
+    )

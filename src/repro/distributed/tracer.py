@@ -1,0 +1,83 @@
+"""Communication/compute event tracing for the simulated runtime.
+
+The tracer is the bridge between the *numeric* simulation (real tensors
+moving between ranks) and the *performance* simulation (the roofline model
+of :mod:`repro.perf`): every collective reports its logical wire bytes here,
+and ring drivers report per-step compute so overlap can be reasoned about
+after the fact — the same way the paper inspects GPU traces (§4.2.1, Table 5).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One traced event.
+
+    Attributes:
+        kind: event class, e.g. ``"sendrecv"``, ``"all2all"``, ``"allgather"``,
+            ``"allreduce"``, ``"attn"`` (compute events use bytes=0).
+        step: ring iteration or logical step index, -1 when not applicable.
+        bytes: logical wire bytes moved by the busiest rank.
+        duration: simulated seconds for the event (alpha-beta model).
+        tag: free-form label (e.g. layer index or algorithm name).
+    """
+
+    kind: str
+    step: int
+    bytes: int
+    duration: float
+    tag: str = ""
+
+
+@dataclass
+class CommTracer:
+    """Accumulates :class:`CommEvent` records and aggregate statistics."""
+
+    events: list[CommEvent] = field(default_factory=list)
+
+    def record(self, kind: str, *, step: int = -1, nbytes: int = 0, duration: float = 0.0, tag: str = "") -> CommEvent:
+        event = CommEvent(kind=kind, step=step, bytes=int(nbytes), duration=float(duration), tag=tag)
+        self.events.append(event)
+        return event
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[CommEvent]:
+        return iter(self.events)
+
+    def total_bytes(self, kind: str | None = None) -> int:
+        """Sum of logical bytes over events, optionally filtered by kind."""
+        return sum(e.bytes for e in self.events if kind is None or e.kind == kind)
+
+    def total_duration(self, kind: str | None = None) -> float:
+        """Sum of simulated durations, optionally filtered by kind."""
+        return sum(e.duration for e in self.events if kind is None or e.kind == kind)
+
+    def count(self, kind: str | None = None) -> int:
+        return sum(1 for e in self.events if kind is None or e.kind == kind)
+
+    def bytes_by_kind(self) -> dict[str, int]:
+        agg: dict[str, int] = defaultdict(int)
+        for e in self.events:
+            agg[e.kind] += e.bytes
+        return dict(agg)
+
+    def summary(self) -> str:
+        """Human-readable per-kind aggregate table."""
+        agg_bytes = self.bytes_by_kind()
+        lines = [f"{'kind':<12} {'count':>6} {'bytes':>14} {'seconds':>10}"]
+        for kind in sorted(agg_bytes):
+            lines.append(
+                f"{kind:<12} {self.count(kind):>6} {agg_bytes[kind]:>14} "
+                f"{self.total_duration(kind):>10.6f}"
+            )
+        return "\n".join(lines)

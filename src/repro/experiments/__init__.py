@@ -1,0 +1,27 @@
+"""Experiment regenerators: one module per paper table/figure.
+
+Each module exposes ``run(...) -> ExperimentResult`` that recomputes the
+corresponding table or figure from the calibrated analytic model (and, for
+the losslessness/ablation experiments, from the numeric simulator). The
+``benchmarks/`` harness wraps these with pytest-benchmark; ``report.py``
+renders them all into EXPERIMENTS.md.
+
+Index (paper -> module):
+
+- Table 2  -> :mod:`repro.experiments.table2_comm`
+- Figure 6 -> :mod:`repro.experiments.fig6_prefill_scaling`
+- Figure 7 -> :mod:`repro.experiments.fig7_cp_vs_tp`
+- Figure 8 -> :mod:`repro.experiments.fig8_million_token`
+- Table 4 / Figure 9 -> :mod:`repro.experiments.table4_fig9_partial_prefill`
+- Table 5  -> :mod:`repro.experiments.table5_breakdown`
+- Table 6  -> :mod:`repro.experiments.table6_ttft_ttit`
+- Table 7  -> :mod:`repro.experiments.table7_parallelism`
+- Table 8  -> :mod:`repro.experiments.table8_decode_attention`
+- Figure 10 -> :mod:`repro.experiments.fig10_heuristic`
+- Ablations -> :mod:`repro.experiments.ablation_sharding`,
+  :mod:`repro.experiments.ablation_allgather`
+"""
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["ExperimentResult"]

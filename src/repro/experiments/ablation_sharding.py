@@ -1,0 +1,62 @@
+"""Ablation: load-balanced 2N-chunk sharding vs naive contiguous sharding.
+
+The design choice of §3.5.1: a ring step's wall time is set by the busiest
+rank, so compute imbalance translates directly into lost scaling. This
+ablation quantifies the per-rank causal-attention work spread for both
+schemes and the implied slowdown (max-rank work over mean work).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sharding import causal_flops_per_rank, naive_flops_per_rank
+from repro.core.sharding_striped import striped_flops_per_rank
+from repro.experiments.base import ExperimentResult
+
+
+def run(*, length: int = 131072, rank_counts: list[int] | None = None) -> ExperimentResult:
+    rank_counts = rank_counts or [2, 4, 8, 16]
+    res = ExperimentResult(
+        experiment_id="Ablation: sharding",
+        title=f"Causal-attention load imbalance at T={length}",
+        headers=[
+            "ranks",
+            "balanced max/mean", "striped max/mean", "naive max/mean",
+            "balanced slowdown %", "naive slowdown %",
+        ],
+    )
+    for n in rank_counts:
+        lb = causal_flops_per_rank(length, n)
+        sp = striped_flops_per_rank(length, n)
+        nv = naive_flops_per_rank(length, n)
+        lb_ratio = float(lb.max() / lb.mean())
+        sp_ratio = float(sp.max() / sp.mean())
+        nv_ratio = float(nv.max() / nv.mean())
+        res.add_row(
+            n,
+            lb_ratio,
+            sp_ratio,
+            nv_ratio,
+            100 * (lb_ratio - 1),
+            100 * (nv_ratio - 1),
+        )
+    res.notes.append(
+        "Naive contiguous sharding overloads the last rank by up to "
+        "~2x - N/(N+0.5)x mean work; 2N-chunk mirrored sharding is balanced "
+        "to within a token. KV memory is balanced identically (same token "
+        "counts), so max-context capacity scales with N only under the "
+        "balanced scheme."
+    )
+    res.notes.append(
+        "Striped (round-robin) sharding, the cited Striped Attention "
+        "alternative, balances equally well; the paper's chunked layout is "
+        "preferred for contiguous-block kernels and paged caches, not for "
+        "balance."
+    )
+    return res
+
+
+def imbalance(work: np.ndarray) -> float:
+    """Max-over-mean work ratio: the ring-step slowdown factor."""
+    return float(np.max(work) / np.mean(work))

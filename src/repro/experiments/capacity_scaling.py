@@ -1,0 +1,96 @@
+"""KV-capacity scaling with CP ranks (paper motivation #3, §1 and §4.2.3).
+
+CP distributes KV storage, so aggregate cache capacity — and therefore the
+maximum servable context — grows linearly with ranks. This experiment
+computes the max context per CP rank count for Llama3 405B (HBM budget
+after FP8 weights and activations) and demonstrates, on the numeric
+engine, that round-robin decode postpones the OOM a pinned-decode scheme
+hits early (§3.6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult
+from repro.kvcache.cache import CacheCapacityError, RankKVCache
+from repro.model.config import llama3_405b_config
+from repro.perf.flops import weight_bytes
+from repro.perf.hardware import HostSpec, gtt_host
+
+
+def max_context_tokens(
+    n_ranks: int,
+    host: HostSpec,
+    *,
+    kv_element_bytes: float = 2.0,
+    activation_reserve: float = 0.15,
+) -> int:
+    """Max single-sequence context a CP deployment can cache.
+
+    Per rank: HBM minus FP8 weights minus an activation reserve, divided by
+    per-token KV bytes; aggregate = per-rank * N (load-balanced sharding
+    splits every sequence evenly).
+    """
+    cfg = llama3_405b_config()
+    hbm = host.gpus_per_host * host.gpu.hbm_capacity
+    weights = weight_bytes(cfg)  # FP8 FFN + BF16 rest, TP-sharded across the host
+    budget = (1.0 - activation_reserve) * hbm - weights
+    if budget <= 0:
+        return 0
+    return int(budget / cfg.kv_bytes_per_token(kv_element_bytes)) * n_ranks
+
+
+def decode_oom_comparison(*, capacity_per_rank: int = 64, world: int = 4) -> tuple[int, int]:
+    """Numeric §3.6 demonstration: decode steps until OOM.
+
+    Returns ``(pinned_steps, round_robin_steps)`` — how many single-token
+    appends fit before a rank overflows when decode KV always lands on rank
+    0 versus rotating round-robin.
+    """
+    def run(round_robin: bool) -> int:
+        caches = [
+            RankKVCache(1, 1, 4, capacity_tokens=capacity_per_rank, block_size=4)
+            for _ in range(world)
+        ]
+        k = np.zeros((1, 1, 4))
+        steps = 0
+        while True:
+            rank = (steps % world) if round_robin else 0
+            try:
+                caches[rank].append(0, 0, k, k, np.array([steps]))
+            except CacheCapacityError:
+                return steps
+            steps += 1
+            if steps > capacity_per_rank * world + 1:
+                return steps
+
+    return run(False), run(True)
+
+
+def run(host: HostSpec | None = None) -> ExperimentResult:
+    host = host if host is not None else gtt_host()
+    res = ExperimentResult(
+        experiment_id="Capacity scaling",
+        title="Max cacheable context vs CP ranks (Llama3 405B)",
+        headers=["ranks", "GPUs", "max context (bf16 KV)", "max context (int8 KV)"],
+    )
+    for n in (1, 2, 4, 8, 16):
+        res.add_row(
+            n,
+            n * host.gpus_per_host,
+            max_context_tokens(n, host, kv_element_bytes=2.0),
+            max_context_tokens(n, host, kv_element_bytes=1.0),
+        )
+    pinned, rr = decode_oom_comparison()
+    res.notes.append(
+        "bf16 KV crosses 1M at 4 ranks in this single-sequence budget; the "
+        "paper operates 1M on 8-16 nodes (§4.2.3), which additionally "
+        "provisions for batching and latency, not just capacity."
+    )
+    res.notes.append(
+        f"§3.6 numeric check: pinned decode OOMs after {pinned} steps; "
+        f"round-robin sustains {rr} (full aggregate capacity)."
+    )
+    res.paper_values["min_ranks_for_1m"] = 8
+    return res

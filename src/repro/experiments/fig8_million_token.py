@@ -1,0 +1,52 @@
+"""Figure 8 + Appendix A: million-token TTFT on CP8/CP16 and MFU.
+
+The headline result: exact 1M-token prefill in ~77 s on 128 H100s (CP16),
+with ~502 TF/s/GPU achieved = 93% parallelization efficiency vs the
+single-GPU FA3 rate and ~63% of the power-limited peak.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.model.config import llama3_405b_config
+from repro.perf.flops import achieved_flops_per_gpu, mfu, model_flops
+from repro.perf.hardware import HostSpec, gtt_host
+from repro.perf.latency import LatencySimulator
+from repro.workloads.traces import FIG8_CONTEXT_LENGTHS, FIG8_RANKS
+
+
+def run(host: HostSpec | None = None) -> ExperimentResult:
+    host = host if host is not None else gtt_host()
+    cfg = llama3_405b_config()
+    sim = LatencySimulator(cfg, host)
+
+    res = ExperimentResult(
+        experiment_id="Figure 8",
+        title="TTFT for 128K-1M context on CP8/CP16 (s)",
+        headers=["context", "CP8 TTFT", "CP16 TTFT", "CP16 TF/s/GPU", "CP16 MFU"],
+    )
+    for ctx in FIG8_CONTEXT_LENGTHS:
+        ttfts = {n: sim.cp_prefill(ctx, n_ranks=n).total for n in FIG8_RANKS}
+        flops = model_flops(cfg, ctx)
+        gpus = 16 * host.gpus_per_host
+        per_gpu = achieved_flops_per_gpu(flops, ttfts[16], gpus)
+        res.add_row(
+            ctx,
+            ttfts[8],
+            ttfts[16],
+            per_gpu / 1e12,
+            mfu(flops, ttfts[16], gpus, host.gpu.peak_flops),
+        )
+    res.paper_values["cp16_1m_seconds"] = 77.0
+    res.paper_values["cp16_128k_seconds"] = 3.8
+    res.paper_values["achieved_tf_per_gpu"] = 502.0
+    res.paper_values["mfu"] = 0.63
+    res.notes.append(
+        "Paper: 77 s @ 1M and 3.8 s @ 128K on CP16; 502 TF/s/GPU achieved "
+        "(93% parallelization efficiency vs 540 TF/s standalone FA3), ~63% MFU."
+    )
+    res.notes.append(
+        "TTFT growth is super-linear beyond 512K as quadratic attention "
+        "overtakes GEMM (>2x TTFT per 2x context)."
+    )
+    return res

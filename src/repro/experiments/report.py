@@ -1,0 +1,79 @@
+"""Render every experiment into one report (EXPERIMENTS.md body)."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    ablation_allgather,
+    ablation_sharding,
+    capacity_scaling,
+    disaggregation,
+    fig6_prefill_scaling,
+    fig7_cp_vs_tp,
+    fig8_million_token,
+    fig10_heuristic,
+    gqa_sensitivity,
+    pp_vs_cp,
+    serving_load,
+    table2_comm,
+    table4_fig9_partial_prefill,
+    table5_breakdown,
+    table6_ttft_ttit,
+    table7_parallelism,
+    table8_decode_attention,
+)
+from repro.experiments.base import ExperimentResult
+
+
+def run_all(*, include_fig10: bool = True) -> list[ExperimentResult]:
+    """Regenerate every table and figure (GTT platform)."""
+    results = [table2_comm.run()]
+    results.extend(fig6_prefill_scaling.run_both())
+    results.append(fig7_cp_vs_tp.run())
+    results.append(fig8_million_token.run())
+    results.append(table4_fig9_partial_prefill.run())
+    results.append(table5_breakdown.run())
+    results.append(table6_ttft_ttit.run())
+    results.append(table7_parallelism.run())
+    results.append(table8_decode_attention.run())
+    if include_fig10:
+        results.append(fig10_heuristic.run())
+    results.append(ablation_sharding.run())
+    results.append(ablation_allgather.run())
+    return results
+
+
+def run_extensions() -> list[ExperimentResult]:
+    """Regenerate the extension experiments (beyond the paper's tables)."""
+    return [
+        capacity_scaling.run(),
+        gqa_sensitivity.run(),
+        disaggregation.run(),
+        pp_vs_cp.run(),
+        serving_load.run(),
+    ]
+
+
+def render_report(
+    results: list[ExperimentResult] | None = None,
+    *,
+    markdown: bool = True,
+    include_extensions: bool = True,
+) -> str:
+    """Full report text for all experiments."""
+    if results is None:
+        results = run_all()
+        if include_extensions:
+            results = results + run_extensions()
+    chunks = []
+    for res in results:
+        chunks.append(res.render_markdown() if markdown else res.render())
+        chunks.append("")
+    return "\n".join(chunks)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(render_report(markdown=False))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,70 @@
+"""Extension experiment: TTFT/throughput under load, colocated vs disaggregated.
+
+Drives the discrete-event simulator with a Poisson stream of 128K-context
+requests and compares CP4 colocated (prefill preempts decode) against CP4
+prefill + dedicated TP8 decode — the serving-architecture question raised
+by §4.3.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.model.config import llama3_405b_config
+from repro.perf.hardware import HostSpec, gtt_host
+from repro.serving.simulator import ClusterServingSimulator, poisson_arrivals
+
+
+def run(
+    host: HostSpec | None = None,
+    *,
+    n_ranks: int = 4,
+    n_requests: int = 24,
+    context_tokens: int = 131072,
+    output_tokens: int = 64,
+) -> ExperimentResult:
+    host = host if host is not None else gtt_host()
+    cfg = llama3_405b_config()
+
+    res = ExperimentResult(
+        experiment_id="Serving under load",
+        title=(
+            f"Poisson load, {context_tokens // 1024}K context, "
+            f"{output_tokens} output tokens, CP{n_ranks}"
+        ),
+        headers=[
+            "arrival rate (req/s)", "mode",
+            "mean TTFT (s)", "p99 TTFT (s)",
+            "mean ms/token", "mean E2E (s)",
+            "throughput (req/s)",
+        ],
+    )
+    for rate in (0.02, 0.05, 0.08):
+        arrivals = poisson_arrivals(
+            rate, n_requests,
+            context_tokens=context_tokens, output_tokens=output_tokens, seed=7,
+        )
+        for disagg in (False, True):
+            sim = ClusterServingSimulator(cfg, host, n_ranks=n_ranks, disaggregated=disagg)
+            report = sim.simulate(arrivals)
+            per_token = [
+                (c.finish - c.first_token) / max(c.decoded, 1)
+                for c in report.completions
+            ]
+            e2e = [c.finish - c.arrival for c in report.completions]
+            res.add_row(
+                rate,
+                "disaggregated" if disagg else "colocated",
+                report.mean_ttft(),
+                report.p99_ttft(),
+                1e3 * sum(per_token) / len(per_token),
+                sum(e2e) / len(e2e),
+                report.throughput(),
+            )
+    res.notes.append(
+        "TTFT is prefill-pool-bound and similar in both modes; the decode "
+        "experience is not: colocated sequences stall behind every queued "
+        "prefill (ms/token includes multi-second gaps), while the "
+        "dedicated decode host streams tokens at TP8 TTIT - the "
+        "Mooncake/DistServe architecture the paper recommends (§4.3)."
+    )
+    return res

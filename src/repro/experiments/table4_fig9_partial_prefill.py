@@ -1,0 +1,85 @@
+"""Table 4 + Figure 9: pass-KV vs pass-Q partial prefill on CP4.
+
+Sweeps the persistent-KV miss rate ``T / (T + P)`` at fixed ``T + P =
+128000`` and reports both variants' TTFT, their ratio (Figure 9's y-axis),
+and the selections made by Algorithm 1, Algorithm 5 and the simulated
+oracle. The reproduced claims:
+
+- TTFT is ~linear in the miss rate for both variants;
+- pass-Q wins below a small tipping point (paper: ~5%; differences within
+  ~1% between 3.25% and 5%), pass-KV above it;
+- Algorithm 5 tracks the oracle across the sweep.
+"""
+
+from __future__ import annotations
+
+from repro.core.heuristics import RingAlgo, select_algo_simple, select_algo_with_all2all
+from repro.experiments.base import ExperimentResult
+from repro.model.config import llama3_405b_config
+from repro.perf.hardware import HostSpec, gtt_host
+from repro.perf.latency import LatencySimulator
+from repro.workloads.traces import TABLE4_RANKS, TABLE4_SWEEP
+
+
+#: Paper Table 4 TTFTs in ms: miss rate -> (pass-KV, pass-Q).
+PAPER_TABLE4: dict[float, tuple[float, float]] = {
+    0.0100: (1023.39, 898.71),
+    0.0250: (1110.18, 1046.43),
+    0.0325: (1298.92, 1280.10),
+    0.0500: (1305.56, 1302.01),
+    0.1000: (2080.67, 2205.27),
+    0.2000: (3353.02, 3617.02),
+    0.3000: (4629.23, 4922.52),
+    0.4000: (5745.08, 6217.83),
+    0.5000: (6845.21, 7367.99),
+    0.6000: (7890.35, 8468.66),
+    0.7000: (8697.27, 9666.62),
+    0.8000: (10105.78, 10652.39),
+    0.9000: (11136.40, 11571.62),
+    1.0000: (11462.15, 12360.57),
+}
+
+
+def run(host: HostSpec | None = None) -> ExperimentResult:
+    host = host if host is not None else gtt_host()
+    sim = LatencySimulator(llama3_405b_config(), host)
+    hc = sim.heuristic_config(TABLE4_RANKS)
+
+    res = ExperimentResult(
+        experiment_id="Table 4 / Figure 9",
+        title=f"pass-KV vs pass-Q partial prefill, P+T=128000, CP{TABLE4_RANKS}",
+        headers=[
+            "P", "T", "miss%",
+            "pass-KV ms", "pass-Q ms", "KV/Q ratio",
+            "oracle", "Alg1", "Alg5",
+            "paper pass-KV ms", "paper pass-Q ms",
+        ],
+    )
+    for p, t in TABLE4_SWEEP:
+        kv = sim.cp_prefill(t, p, n_ranks=TABLE4_RANKS, algo=RingAlgo.PASS_KV).total * 1e3
+        qq = sim.cp_prefill(t, p, n_ranks=TABLE4_RANKS, algo=RingAlgo.PASS_Q).total * 1e3
+        rate = t / (t + p)
+        paper_kv, paper_q = PAPER_TABLE4[round(rate, 4)]
+        res.add_row(
+            p, t, 100 * rate,
+            kv, qq, kv / qq,
+            ("pass-kv" if kv <= qq else "pass-q"),
+            select_algo_simple(hc, t, p).value,
+            select_algo_with_all2all(hc, t, p).value,
+            paper_kv, paper_q,
+        )
+    res.paper_values["tipping_point_miss_rate"] = 0.05
+    res.notes.append(
+        "Paper tipping point ~5% miss (ties within 1% from 3.25%); the "
+        "simulated crossover lands between 2.5% and 3.25%, inside the "
+        "paper's near-tie band."
+    )
+    return res
+
+
+def crossover_miss_rate(result: ExperimentResult) -> float:
+    """First sweep miss rate at which pass-KV beats pass-Q."""
+    for row in result.rows:
+        if row[6] == "pass-kv":
+            return row[2] / 100.0
+    return 1.0

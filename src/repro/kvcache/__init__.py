@@ -1,0 +1,20 @@
+"""Persistent KV cache substrate.
+
+CP distributes KV storage as well as compute: each rank caches only its
+shard of every sequence, so adding CP nodes grows aggregate KV capacity
+linearly (one of the paper's three motivations for CP, §1). This package
+provides the per-rank cache the engine uses across multi-turn prefill and
+decode:
+
+- :mod:`repro.kvcache.paged` — a paged block allocator in the style of
+  PagedAttention (Kwon et al. 2023), which the paper cites as the standard
+  memory-management substrate for long-context serving.
+- :mod:`repro.kvcache.cache` — :class:`RankKVCache`, a per-rank, per-layer,
+  per-sequence KV store with position/seq-id bookkeeping and capacity (OOM)
+  accounting, backed by the paged allocator.
+"""
+
+from repro.kvcache.cache import CacheCapacityError, RankKVCache
+from repro.kvcache.paged import PagedAllocator
+
+__all__ = ["CacheCapacityError", "PagedAllocator", "RankKVCache"]

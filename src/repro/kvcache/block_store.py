@@ -1,0 +1,130 @@
+"""Block-table KV storage with gather-based attention access.
+
+:class:`repro.kvcache.cache.RankKVCache` stores KV as appended chunks and
+concatenates on read; production systems instead keep KV in fixed-size
+*blocks* addressed through a block table (PagedAttention, Kwon et al. 2023
+— the memory-management substrate the paper cites in §2.2). This module
+implements that layout faithfully:
+
+- a :class:`BlockStore` owns a pool of ``[num_blocks, block_size, NKV, DH]``
+  K/V block tensors;
+- each sequence's tokens live in non-contiguous blocks listed by its block
+  table;
+- :meth:`BlockStore.gather` materializes a sequence's KV in position order
+  via block-table indirection — the access pattern a paged attention
+  kernel performs.
+
+Tests pin gather-based attention to contiguous-storage attention exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sharding import ShardedKV
+from repro.kvcache.paged import OutOfBlocksError, PagedAllocator
+
+
+class BlockStore:
+    """Paged KV storage for one rank and one layer.
+
+    Args:
+        num_blocks: pool size.
+        block_size: tokens per block.
+        n_kv_heads / head_dim: KV geometry.
+    """
+
+    def __init__(self, num_blocks: int, block_size: int, n_kv_heads: int, head_dim: int):
+        self.allocator = PagedAllocator(num_blocks=num_blocks, block_size=block_size)
+        self.block_size = block_size
+        self.n_kv_heads = n_kv_heads
+        self.head_dim = head_dim
+        self.k_pool = np.zeros((num_blocks, block_size, n_kv_heads, head_dim))
+        self.v_pool = np.zeros((num_blocks, block_size, n_kv_heads, head_dim))
+        self.pos_pool = np.zeros((num_blocks, block_size), dtype=np.int64)
+        #: per-sequence block tables: ordered block ids
+        self.block_tables: dict[int, list[int]] = {}
+        self._fill: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def append(self, seq_id: int, k: np.ndarray, v: np.ndarray, positions: np.ndarray) -> None:
+        """Append tokens to a sequence, allocating blocks on demand.
+
+        Raises:
+            OutOfBlocksError: when the pool is exhausted (allocation is
+                transactional via the underlying allocator).
+        """
+        k = np.asarray(k)
+        v = np.asarray(v)
+        positions = np.asarray(positions, dtype=np.int64)
+        n = k.shape[0]
+        if k.shape != v.shape or k.shape[1:] != (self.n_kv_heads, self.head_dim):
+            raise ValueError(f"bad KV shapes k{k.shape} v{v.shape}")
+        if positions.shape != (n,):
+            raise ValueError("positions must match token count")
+        if n == 0:
+            return
+
+        before_blocks = list(self.block_tables.get(seq_id, []))
+        before_fill = self._fill.get(seq_id, 0)
+        self.allocator.append((seq_id,), n)  # may raise; pool state exact
+
+        table = self.block_tables.setdefault(seq_id, [])
+        fill = before_fill
+        # extend the table to match the allocator's view
+        owned = self.allocator._owners[(seq_id,)]
+        for blk in owned[len(table):]:
+            table.append(blk)
+        del before_blocks
+
+        for i in range(n):
+            blk = table[fill // self.block_size]
+            slot = fill % self.block_size
+            self.k_pool[blk, slot] = k[i]
+            self.v_pool[blk, slot] = v[i]
+            self.pos_pool[blk, slot] = positions[i]
+            fill += 1
+        self._fill[seq_id] = fill
+
+    def tokens(self, seq_id: int) -> int:
+        return self._fill.get(seq_id, 0)
+
+    def gather(self, seq_ids: list[int] | None = None) -> ShardedKV:
+        """Materialize sequences' KV via block-table indirection."""
+        if seq_ids is None:
+            seq_ids = sorted(self.block_tables)
+        ks, vs, ps, ss = [], [], [], []
+        for sid in seq_ids:
+            fill = self._fill.get(sid, 0)
+            if fill == 0:
+                continue
+            table = np.array(self.block_tables[sid], dtype=np.int64)
+            # flat token index -> (block, slot) gather
+            idx = np.arange(fill)
+            blocks = table[idx // self.block_size]
+            slots = idx % self.block_size
+            ks.append(self.k_pool[blocks, slots])
+            vs.append(self.v_pool[blocks, slots])
+            ps.append(self.pos_pool[blocks, slots])
+            ss.append(np.full(fill, sid, dtype=np.int64))
+        if not ks:
+            return ShardedKV.empty(self.n_kv_heads, self.head_dim)
+        return ShardedKV(
+            k=np.concatenate(ks, axis=0),
+            v=np.concatenate(vs, axis=0),
+            positions=np.concatenate(ps),
+            seq_ids=np.concatenate(ss),
+        )
+
+    def release(self, seq_id: int) -> None:
+        """Free a sequence's blocks back to the pool."""
+        self.allocator.release((seq_id,))
+        self.block_tables.pop(seq_id, None)
+        self._fill.pop(seq_id, None)
+
+    def fragmentation(self) -> float:
+        """Wasted fraction of allocated slots (last-block slack)."""
+        allocated = self.allocator.used_blocks * self.block_size
+        used = sum(self._fill.values())
+        return 0.0 if allocated == 0 else 1.0 - used / allocated

@@ -1,0 +1,205 @@
+"""Per-rank persistent KV cache.
+
+Each CP rank owns one :class:`RankKVCache` holding, for every transformer
+layer and every live sequence, the K/V projections of the tokens *sharded to
+this rank* — cached prompt tokens from earlier turns plus decode tokens the
+round-robin assignment landed here. Absolute positions and sequence ids ride
+along with the tensors so ring attention can mask exactly regardless of how
+turns interleaved (the "load-balanced sharding for persistent KV cache"
+contribution of the paper).
+
+Capacity is enforced through a shared :class:`repro.kvcache.paged.PagedAllocator`
+whose pool is sized from HBM bytes; exceeding it raises
+:class:`CacheCapacityError`, which the decode-balance tests use to show the
+round-robin scheme postpones OOM versus pinning decode to one rank (§3.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.sharding import ShardedKV
+from repro.kvcache.paged import OutOfBlocksError, PagedAllocator
+
+
+class CacheCapacityError(RuntimeError):
+    """A rank's KV pool overflowed."""
+
+
+@dataclass
+class _Stream:
+    """KV storage for one (layer, sequence) stream, chunk-appended.
+
+    Chunks are either float arrays (dense mode) or
+    :class:`repro.kvcache.quantized.QuantizedKV` records (quantized mode);
+    ``pos_chunks`` always holds positions.
+    """
+
+    k_chunks: list = field(default_factory=list)
+    v_chunks: list = field(default_factory=list)
+    pos_chunks: list[np.ndarray] = field(default_factory=list)
+
+    def tokens(self) -> int:
+        return sum(c.shape[0] for c in self.pos_chunks)
+
+
+class RankKVCache:
+    """One CP rank's KV cache across layers and sequences.
+
+    Args:
+        n_layers: transformer layers.
+        n_kv_heads: KV heads per layer (this rank holds all of them; TP
+            sharding inside the host is below this abstraction).
+        head_dim: head dimension.
+        capacity_tokens: optional per-rank token budget, enforced per layer
+            (every layer stores the same token set, so one layer's pool is
+            the binding constraint). ``None`` = unbounded.
+        block_size: paged-allocator block size in tokens.
+        quantized: store KV int8-quantized per (token, head) (paper §2.2's
+            memory lever); reads dequantize transparently, trading exact
+            logits for ~2x KV capacity.
+    """
+
+    def __init__(
+        self,
+        n_layers: int,
+        n_kv_heads: int,
+        head_dim: int,
+        *,
+        capacity_tokens: int | None = None,
+        block_size: int = 16,
+        quantized: bool = False,
+    ):
+        if n_layers < 1:
+            raise ValueError(f"n_layers must be >= 1, got {n_layers}")
+        self.n_layers = n_layers
+        self.n_kv_heads = n_kv_heads
+        self.head_dim = head_dim
+        self.capacity_tokens = capacity_tokens
+        self.quantized = quantized
+        self._streams: dict[tuple[int, int], _Stream] = {}
+        num_blocks = 0 if capacity_tokens is None else -(-capacity_tokens // block_size)
+        self._allocator = (
+            None
+            if capacity_tokens is None
+            else PagedAllocator(num_blocks=num_blocks, block_size=block_size)
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def append(
+        self,
+        layer: int,
+        seq_id: int,
+        k: np.ndarray,
+        v: np.ndarray,
+        positions: np.ndarray,
+    ) -> None:
+        """Append projected KV for tokens of ``seq_id`` at ``layer``.
+
+        Raises:
+            CacheCapacityError: when the paged pool is exhausted (only
+                layer 0 is charged against the allocator; all layers hold
+                identical token counts).
+        """
+        self._check_layer(layer)
+        k = np.asarray(k)
+        v = np.asarray(v)
+        positions = np.asarray(positions, dtype=np.int64)
+        if k.shape != v.shape or k.ndim != 3:
+            raise ValueError(f"bad KV shapes k{k.shape} v{v.shape}")
+        if k.shape[1:] != (self.n_kv_heads, self.head_dim):
+            raise ValueError(
+                f"expected [*, {self.n_kv_heads}, {self.head_dim}], got {k.shape}"
+            )
+        if positions.shape != (k.shape[0],):
+            raise ValueError("positions must match token count")
+        if k.shape[0] == 0:
+            return
+        if layer == 0 and self._allocator is not None:
+            try:
+                self._allocator.append((seq_id,), k.shape[0])
+            except OutOfBlocksError as exc:
+                raise CacheCapacityError(str(exc)) from exc
+        stream = self._streams.setdefault((layer, seq_id), _Stream())
+        if self.quantized:
+            from repro.kvcache.quantized import quantize_kv
+
+            record = quantize_kv(k, v)
+            stream.k_chunks.append(record)
+            stream.v_chunks.append(record)
+        else:
+            stream.k_chunks.append(k)
+            stream.v_chunks.append(v)
+        stream.pos_chunks.append(positions)
+
+    def get(self, layer: int, seq_ids: list[int] | None = None) -> ShardedKV:
+        """Fused :class:`ShardedKV` view of this rank's cache at ``layer``.
+
+        Args:
+            layer: transformer layer.
+            seq_ids: restrict to these sequences (default: all, sorted).
+        """
+        self._check_layer(layer)
+        if seq_ids is None:
+            seq_ids = sorted({sid for (lyr, sid) in self._streams if lyr == layer})
+        ks, vs, ps, ss = [], [], [], []
+        for sid in seq_ids:
+            stream = self._streams.get((layer, sid))
+            if stream is None or not stream.k_chunks:
+                continue
+            n = stream.tokens()
+            if self.quantized:
+                from repro.kvcache.quantized import dequantize_kv
+
+                dk, dv = zip(*(dequantize_kv(rec) for rec in stream.k_chunks))
+                ks.append(np.concatenate(dk, axis=0))
+                vs.append(np.concatenate(dv, axis=0))
+            else:
+                ks.append(np.concatenate(stream.k_chunks, axis=0))
+                vs.append(np.concatenate(stream.v_chunks, axis=0))
+            ps.append(np.concatenate(stream.pos_chunks))
+            ss.append(np.full(n, sid, dtype=np.int64))
+        if not ks:
+            return ShardedKV.empty(self.n_kv_heads, self.head_dim)
+        return ShardedKV(
+            k=np.concatenate(ks, axis=0),
+            v=np.concatenate(vs, axis=0),
+            positions=np.concatenate(ps),
+            seq_ids=np.concatenate(ss),
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def tokens(self, seq_id: int, layer: int = 0) -> int:
+        """Tokens cached for ``seq_id`` at ``layer`` on this rank."""
+        stream = self._streams.get((layer, seq_id))
+        return 0 if stream is None else stream.tokens()
+
+    def total_tokens(self, layer: int = 0) -> int:
+        """Total tokens cached at ``layer`` across sequences."""
+        return sum(
+            stream.tokens() for (lyr, _), stream in self._streams.items() if lyr == layer
+        )
+
+    def free_tokens(self) -> int | None:
+        """Remaining appendable tokens, or ``None`` when unbounded."""
+        if self._allocator is None:
+            return None
+        return self._allocator.free_tokens()
+
+    def sequence_ids(self, layer: int = 0) -> list[int]:
+        return sorted({sid for (lyr, sid) in self._streams if lyr == layer})
+
+    def drop(self, seq_id: int) -> None:
+        """Evict a sequence from all layers and release its blocks."""
+        for layer in range(self.n_layers):
+            self._streams.pop((layer, seq_id), None)
+        if self._allocator is not None:
+            self._allocator.release((seq_id,))
+
+    def _check_layer(self, layer: int) -> None:
+        if not 0 <= layer < self.n_layers:
+            raise ValueError(f"layer {layer} out of range [0, {self.n_layers})")

@@ -1,0 +1,115 @@
+"""Paged block allocator (PagedAttention-style).
+
+Long-context serving cannot reserve max-context-length contiguous buffers
+per sequence; the standard fix (Kwon et al. 2023, cited in §2.2) is to
+allocate KV memory in fixed-size token blocks on demand. This allocator
+tracks block ownership per (layer, sequence) stream and is the capacity
+authority behind :class:`repro.kvcache.cache.RankKVCache`: when the free
+list empties, the cache raises the OOM the paper's load-balancing work is
+designed to postpone (§3.6: without round-robin decode sharding, one rank
+OOMs before aggregate capacity is reached).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class OutOfBlocksError(RuntimeError):
+    """No free blocks remain in the pool."""
+
+
+@dataclass
+class PagedAllocator:
+    """Fixed-pool block allocator.
+
+    Attributes:
+        num_blocks: total blocks in the pool.
+        block_size: tokens per block.
+    """
+
+    num_blocks: int
+    block_size: int
+    _free: list[int] = field(default_factory=list, repr=False)
+    _owners: dict[tuple, list[int]] = field(default_factory=dict, repr=False)
+    _fill: dict[tuple, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 0:
+            raise ValueError(f"num_blocks must be >= 0, got {self.num_blocks}")
+        if self.block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {self.block_size}")
+        self._free = list(range(self.num_blocks - 1, -1, -1))
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_blocks(self) -> int:
+        return self.num_blocks - len(self._free)
+
+    @property
+    def capacity_tokens(self) -> int:
+        return self.num_blocks * self.block_size
+
+    def free_tokens(self) -> int:
+        """Tokens that can still be appended across all streams.
+
+        Counts whole free blocks plus the slack in each stream's last
+        partially-filled block.
+        """
+        slack = sum(
+            (len(blocks) * self.block_size) - self._fill[key]
+            for key, blocks in self._owners.items()
+        )
+        return len(self._free) * self.block_size + slack
+
+    def stream_tokens(self, key: tuple) -> int:
+        """Tokens currently stored under ``key``."""
+        return self._fill.get(key, 0)
+
+    def append(self, key: tuple, n_tokens: int) -> None:
+        """Account for appending ``n_tokens`` to stream ``key``.
+
+        Allocates new blocks as needed.
+
+        Raises:
+            OutOfBlocksError: if the pool cannot hold the new tokens; the
+                allocation is rolled back so the pool state is unchanged.
+        """
+        if n_tokens < 0:
+            raise ValueError(f"n_tokens must be >= 0, got {n_tokens}")
+        blocks = self._owners.setdefault(key, [])
+        fill = self._fill.setdefault(key, 0)
+        capacity = len(blocks) * self.block_size
+        need = fill + n_tokens - capacity
+        newly: list[int] = []
+        while need > 0:
+            if not self._free:
+                # roll back
+                for b in newly:
+                    self._free.append(b)
+                    blocks.pop()
+                if not blocks:
+                    del self._owners[key]
+                    del self._fill[key]
+                raise OutOfBlocksError(
+                    f"stream {key}: need {n_tokens} tokens but pool is exhausted "
+                    f"({self.used_blocks}/{self.num_blocks} blocks used)"
+                )
+            b = self._free.pop()
+            blocks.append(b)
+            newly.append(b)
+            need -= self.block_size
+        self._fill[key] = fill + n_tokens
+
+    def release(self, key: tuple) -> int:
+        """Free all blocks of stream ``key``; returns the block count freed."""
+        blocks = self._owners.pop(key, [])
+        self._fill.pop(key, None)
+        self._free.extend(blocks)
+        return len(blocks)
+
+    def streams(self) -> list[tuple]:
+        return list(self._owners)

@@ -1,0 +1,92 @@
+"""Quantized KV cache storage (paper §2.2's memory lever).
+
+The paper cites KV-cache quantization (KVQuant, QServe) as the standard
+complement to CP for bending the KV memory curve: INT8/FP8 KV halves wire
+*and* HBM bytes, which also shifts the pass-KV/pass-Q thresholds (the
+``e`` in Equations 1-3). This module provides a drop-in quantized backend
+for :class:`repro.kvcache.cache.RankKVCache` semantics:
+
+- per-(token, head) symmetric scaling — finer grain than weight rows
+  because KV outliers are token-local;
+- transparent dequantization on read, so ring algorithms are unchanged;
+- exact byte accounting for the perf model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_QMAX = 127
+
+
+@dataclass
+class QuantizedKV:
+    """One quantized KV chunk: int8 codes + per-(token, head) scales."""
+
+    k_codes: np.ndarray  # [n, NKV, DH] int8
+    v_codes: np.ndarray
+    k_scales: np.ndarray  # [n, NKV]
+    v_scales: np.ndarray
+
+    @property
+    def tokens(self) -> int:
+        return self.k_codes.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Stored bytes: 1/code + 4/scale."""
+        return int(
+            self.k_codes.size + self.v_codes.size
+            + 4 * (self.k_scales.size + self.v_scales.size)
+        )
+
+
+def quantize_kv(k: np.ndarray, v: np.ndarray) -> QuantizedKV:
+    """Quantize ``[n, NKV, DH]`` K/V tensors per (token, head).
+
+    Raises:
+        ValueError: on shape mismatch or wrong rank.
+    """
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    if k.shape != v.shape or k.ndim != 3:
+        raise ValueError(f"bad KV shapes k{k.shape} v{v.shape}")
+
+    def _q(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        amax = np.max(np.abs(x), axis=-1)
+        scales = amax / _QMAX
+        safe = np.where(scales == 0.0, 1.0, scales)
+        codes = np.clip(np.rint(x / safe[..., None]), -_QMAX, _QMAX).astype(np.int8)
+        codes[scales == 0.0] = 0
+        return codes, scales
+
+    k_codes, k_scales = _q(k)
+    v_codes, v_scales = _q(v)
+    return QuantizedKV(k_codes=k_codes, v_codes=v_codes, k_scales=k_scales, v_scales=v_scales)
+
+
+def dequantize_kv(q: QuantizedKV) -> tuple[np.ndarray, np.ndarray]:
+    """Reconstruct float K/V from a quantized chunk."""
+    k = q.k_codes.astype(np.float64) * q.k_scales[..., None]
+    v = q.v_codes.astype(np.float64) * q.v_scales[..., None]
+    return k, v
+
+
+def kv_quantization_error(k: np.ndarray, v: np.ndarray) -> tuple[float, float]:
+    """Max relative reconstruction error per tensor (diagnostics)."""
+    q = quantize_kv(k, v)
+    k2, v2 = dequantize_kv(q)
+    k_den = max(float(np.abs(k).max()), 1e-12)
+    v_den = max(float(np.abs(v).max()), 1e-12)
+    return (
+        float(np.abs(k2 - k).max()) / k_den,
+        float(np.abs(v2 - v).max()) / v_den,
+    )
+
+
+def compression_ratio(q: QuantizedKV, *, element_bytes: float = 2.0) -> float:
+    """Bytes saved vs storing the same KV at ``element_bytes``/element."""
+    dense = (q.k_codes.size + q.v_codes.size) * element_bytes
+    return dense / q.nbytes

@@ -1,0 +1,87 @@
+"""Per-rank HBM budget accounting.
+
+CP's third motivation (§1) is KV-cache *capacity*: each rank stores only
+its shard, so aggregate capacity grows with N. This module prices the
+per-rank HBM budget — weights (mixed precision), KV cache (configurable
+element size), and a peak-activation estimate — and derives max context /
+max batch figures used by the capacity experiment and the planning example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.config import ModelConfig
+from repro.perf.flops import weight_bytes
+from repro.perf.hardware import HostSpec
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """Per-CP-rank HBM breakdown (bytes).
+
+    Attributes:
+        hbm_total: aggregate host HBM.
+        weights: model weights (TP-sharded across the host = full copy per
+            CP rank).
+        activations: peak prefill activation estimate.
+        kv_available: bytes left for KV cache.
+    """
+
+    hbm_total: float
+    weights: float
+    activations: float
+
+    @property
+    def kv_available(self) -> float:
+        return max(0.0, self.hbm_total - self.weights - self.activations)
+
+    def max_context(
+        self, config: ModelConfig, n_ranks: int, *, kv_element_bytes: float = 2.0, batch: int = 1
+    ) -> int:
+        """Max cacheable context per sequence for a CP-N deployment."""
+        per_token = config.kv_bytes_per_token(kv_element_bytes)
+        if per_token <= 0 or batch < 1:
+            raise ValueError("invalid per-token bytes or batch")
+        return int(self.kv_available / per_token / batch) * n_ranks
+
+    def max_batch(
+        self, config: ModelConfig, context: int, n_ranks: int, *, kv_element_bytes: float = 2.0
+    ) -> int:
+        """Max concurrent sequences of a given context (KV distribution
+        lets batch grow with CP ranks — the paper's §1 bullet 3)."""
+        per_seq = context * config.kv_bytes_per_token(kv_element_bytes) / n_ranks
+        if per_seq <= 0:
+            raise ValueError("context must be positive")
+        return int(self.kv_available / per_seq)
+
+
+def activation_bytes(
+    config: ModelConfig,
+    tokens_per_rank: float,
+    *,
+    element_bytes: float = 2.0,
+    live_tensors: float = 6.0,
+) -> float:
+    """Peak prefill activation estimate: a handful of live ``[T_loc, D]``
+    tensors (hidden states, norms, QKV, FFN intermediates amortized by
+    chunking)."""
+    return live_tensors * tokens_per_rank * config.model_dim * element_bytes
+
+
+def rank_memory_budget(
+    config: ModelConfig,
+    host: HostSpec,
+    *,
+    tokens_per_rank: float = 0.0,
+    ffn_weight_bytes: float = 1.0,
+    other_weight_bytes: float = 2.0,
+) -> MemoryBudget:
+    """Build the per-rank budget for a model/host pair."""
+    return MemoryBudget(
+        hbm_total=host.gpus_per_host * host.gpu.hbm_capacity,
+        weights=weight_bytes(
+            config, ffn_bytes=ffn_weight_bytes, other_bytes=other_weight_bytes
+        ),
+        activations=activation_bytes(config, tokens_per_rank),
+    )

@@ -1,0 +1,52 @@
+"""Scaling-analysis helpers (Figure 7/8 arithmetic as reusable functions)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def scaling_ratio(latency_1: float, latency_n: float) -> float:
+    """``tau_1 / tau_N`` — the paper's Figure 7 metric (perfect = N)."""
+    if latency_1 <= 0 or latency_n <= 0:
+        raise ValueError("latencies must be positive")
+    return latency_1 / latency_n
+
+
+def parallelization_efficiency(latency_1: float, latency_n: float, n: int) -> float:
+    """Scaling ratio over perfect scaling: 1.0 = linear speedup.
+
+    The paper reports 93% for the 1M/128-GPU prefill (Appendix A, against
+    the standalone single-GPU FA3 rate).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return scaling_ratio(latency_1, latency_n) / n
+
+
+def speedup_curve(latencies: dict[int, float]) -> dict[int, float]:
+    """Per-N scaling ratios from a ``{n: latency}`` sweep (needs n=1)."""
+    if 1 not in latencies:
+        raise ValueError("sweep must include n=1 as the baseline")
+    base = latencies[1]
+    return {n: scaling_ratio(base, t) for n, t in sorted(latencies.items())}
+
+
+def amdahl_serial_fraction(latencies: dict[int, float]) -> float:
+    """Least-squares serial fraction ``s`` fitting ``t_N = t_1 (s + (1-s)/N)``.
+
+    A diagnostic for *why* scaling bends: the fixed per-layer ring setup and
+    exposed communication act as the serial term.
+    """
+    if 1 not in latencies or len(latencies) < 2:
+        raise ValueError("need n=1 plus at least one more point")
+    t1 = latencies[1]
+    ns = np.array(sorted(latencies))
+    ts = np.array([latencies[n] for n in ns], dtype=float)
+    # t_N / t1 = s + (1-s)/N  ->  y = s * (1 - 1/N) + 1/N
+    y = ts / t1
+    x = 1.0 - 1.0 / ns
+    denom = float(np.dot(x, x))
+    if denom == 0:
+        return 0.0
+    s = float(np.dot(x, y - 1.0 / ns)) / denom
+    return float(np.clip(s, 0.0, 1.0))

@@ -1,0 +1,29 @@
+"""Serving layer: multi-turn sessions, batching, and metrics.
+
+The paper frames CP inference around multi-turn online messaging (§3.3):
+full prefill on the first prompt, auto-regressive decode for the response,
+then *partial prefill* for every follow-up against the persistent sharded
+KV cache. This package provides that serving loop on top of
+:class:`repro.core.engine.ContextParallelEngine`:
+
+- :mod:`repro.serving.request` — request/turn records.
+- :mod:`repro.serving.session` — :class:`ChatSession`, one conversation's
+  prefill/decode driver with cache-hit accounting.
+- :mod:`repro.serving.scheduler` — fused variable-length batch assembly
+  (Figure 1's fused inputs) over a FIFO of requests.
+- :mod:`repro.serving.metrics` — TTFT/TTIT/cache-hit aggregation.
+"""
+
+from repro.serving.metrics import ServingMetrics
+from repro.serving.request import PrefillRequest, TurnRecord
+from repro.serving.scheduler import FusedBatch, Scheduler
+from repro.serving.session import ChatSession
+
+__all__ = [
+    "ChatSession",
+    "FusedBatch",
+    "PrefillRequest",
+    "Scheduler",
+    "ServingMetrics",
+    "TurnRecord",
+]

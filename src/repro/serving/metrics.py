@@ -1,0 +1,77 @@
+"""Serving metrics aggregation (TTFT / TTIT / cache hit rates)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serving.request import TurnRecord
+
+
+@dataclass
+class ServingMetrics:
+    """Rolling aggregate over completed turns.
+
+    TTFT/TTIT samples come from the analytic simulator (seconds); token and
+    cache-hit accounting comes from the numeric engine's turn records.
+    """
+
+    ttft_samples: list[float] = field(default_factory=list)
+    ttit_samples: list[float] = field(default_factory=list)
+    turns: list[TurnRecord] = field(default_factory=list)
+
+    def record_turn(self, turn: TurnRecord, *, ttft: float | None = None, ttit: float | None = None) -> None:
+        self.turns.append(turn)
+        if ttft is not None:
+            self.ttft_samples.append(float(ttft))
+        if ttit is not None:
+            self.ttit_samples.append(float(ttit))
+
+    # ------------------------------- views ------------------------------ #
+
+    @property
+    def total_prompt_tokens(self) -> int:
+        return sum(t.prompt_tokens for t in self.turns)
+
+    @property
+    def total_generated_tokens(self) -> int:
+        return sum(t.response_tokens for t in self.turns)
+
+    @property
+    def mean_cache_hit_rate(self) -> float:
+        """Average of ``P / (T + P)`` over turns (1 - miss rate)."""
+        if not self.turns:
+            return 0.0
+        return float(np.mean([1.0 - t.miss_rate for t in self.turns]))
+
+    def algo_counts(self) -> dict[str, int]:
+        """Prefill algorithm selection frequencies."""
+        counts: dict[str, int] = {}
+        for t in self.turns:
+            counts[t.algo] = counts.get(t.algo, 0) + 1
+        return counts
+
+    def percentile_ttft(self, q: float) -> float:
+        if not self.ttft_samples:
+            raise ValueError("no TTFT samples recorded")
+        return float(np.percentile(self.ttft_samples, q))
+
+    def percentile_ttit(self, q: float) -> float:
+        if not self.ttit_samples:
+            raise ValueError("no TTIT samples recorded")
+        return float(np.percentile(self.ttit_samples, q))
+
+    def summary(self) -> str:
+        lines = [
+            f"turns: {len(self.turns)}",
+            f"prompt tokens: {self.total_prompt_tokens}",
+            f"generated tokens: {self.total_generated_tokens}",
+            f"mean cache hit rate: {self.mean_cache_hit_rate:.3f}",
+            f"algo counts: {self.algo_counts()}",
+        ]
+        if self.ttft_samples:
+            lines.append(f"p50 TTFT: {self.percentile_ttft(50):.3f}s")
+        if self.ttit_samples:
+            lines.append(f"p50 TTIT: {self.percentile_ttit(50) * 1e3:.2f}ms")
+        return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Request and turn records for the serving layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class PrefillRequest:
+    """One prompt submitted for (full or partial) prefill.
+
+    Attributes:
+        seq_id: conversation / sequence identifier.
+        token_ids: the new prompt tokens.
+        max_new_tokens: decode budget for the response.
+    """
+
+    seq_id: int
+    token_ids: np.ndarray
+    max_new_tokens: int = 0
+
+    def __post_init__(self) -> None:
+        self.token_ids = np.asarray(self.token_ids, dtype=np.int64)
+        if self.token_ids.ndim != 1 or self.token_ids.size == 0:
+            raise ValueError(f"request {self.seq_id}: token_ids must be non-empty 1-D")
+        if self.max_new_tokens < 0:
+            raise ValueError("max_new_tokens must be >= 0")
+
+    @property
+    def prompt_tokens(self) -> int:
+        return int(self.token_ids.size)
+
+
+@dataclass
+class TurnRecord:
+    """Bookkeeping for one completed conversation turn.
+
+    Attributes:
+        seq_id: conversation id.
+        prompt_tokens: new tokens prefetched this turn (``T``).
+        cached_tokens: persistent KV length before the turn (``P``).
+        response_tokens: tokens decoded in the response.
+        algo: ring variant the planner chose for the prefill.
+        generated: the decoded token ids.
+    """
+
+    seq_id: int
+    prompt_tokens: int
+    cached_tokens: int
+    response_tokens: int
+    algo: str
+    generated: list[int] = field(default_factory=list)
+
+    @property
+    def miss_rate(self) -> float:
+        """KV-cache miss rate the prefill ran at."""
+        total = self.prompt_tokens + self.cached_tokens
+        return self.prompt_tokens / total if total else 0.0

@@ -1,0 +1,84 @@
+"""Fused variable-length batch assembly.
+
+The paper's prefill algorithms operate on *fused varseq* inputs: several
+sequences of different lengths packed into one round (Figure 1), each
+load-balance sharded independently. This scheduler builds those rounds from
+a FIFO of :class:`repro.serving.request.PrefillRequest`, bounded by a token
+budget per round (a stand-in for activation-memory limits).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serving.request import PrefillRequest
+
+
+@dataclass
+class FusedBatch:
+    """One prefill round's worth of requests.
+
+    Attributes:
+        requests: the fused requests, admission order preserved.
+    """
+
+    requests: list[PrefillRequest] = field(default_factory=list)
+
+    @property
+    def total_new_tokens(self) -> int:
+        return sum(r.prompt_tokens for r in self.requests)
+
+    @property
+    def seq_ids(self) -> list[int]:
+        return [r.seq_id for r in self.requests]
+
+    def prompts(self) -> dict[int, np.ndarray]:
+        """Engine-ready ``{seq_id: token_ids}`` mapping."""
+        return {r.seq_id: r.token_ids for r in self.requests}
+
+
+class Scheduler:
+    """FIFO batcher with a per-round token budget.
+
+    Args:
+        max_tokens_per_batch: cap on the fused round's new-token total. A
+            single request larger than the cap still forms its own round
+            (it cannot be split without changing semantics).
+        max_seqs_per_batch: cap on the number of fused sequences.
+    """
+
+    def __init__(self, *, max_tokens_per_batch: int = 131072, max_seqs_per_batch: int = 16):
+        if max_tokens_per_batch < 1 or max_seqs_per_batch < 1:
+            raise ValueError("batch limits must be >= 1")
+        self.max_tokens_per_batch = max_tokens_per_batch
+        self.max_seqs_per_batch = max_seqs_per_batch
+        self._queue: deque[PrefillRequest] = deque()
+
+    def submit(self, request: PrefillRequest) -> None:
+        """Enqueue a request. Duplicate pending seq_ids are rejected (a
+        sequence can only appear once per round)."""
+        if any(r.seq_id == request.seq_id for r in self._queue):
+            raise ValueError(f"sequence {request.seq_id} already queued")
+        self._queue.append(request)
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def next_batch(self) -> FusedBatch | None:
+        """Pop the next fused round, or ``None`` when idle."""
+        if not self._queue:
+            return None
+        batch = FusedBatch()
+        budget = self.max_tokens_per_batch
+        while self._queue and len(batch.requests) < self.max_seqs_per_batch:
+            head = self._queue[0]
+            if batch.requests and head.prompt_tokens > budget:
+                break
+            batch.requests.append(self._queue.popleft())
+            budget -= head.prompt_tokens
+            if budget <= 0:
+                break
+        return batch

@@ -1,0 +1,92 @@
+"""Public validation utilities: checkable losslessness.
+
+The paper's "lossless exact" claim is this library's core invariant; these
+helpers make it a one-liner for users embedding the engine in their own
+experiments (and are used by the examples and integration tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import ContextParallelEngine
+from repro.model.llama import LlamaModel
+
+
+def max_logit_error(
+    engine_logits: np.ndarray, reference_logits: np.ndarray
+) -> float:
+    """Max absolute elementwise difference between two logit blocks."""
+    engine_logits = np.asarray(engine_logits)
+    reference_logits = np.asarray(reference_logits)
+    if engine_logits.shape != reference_logits.shape:
+        raise ValueError(
+            f"logit shapes differ: {engine_logits.shape} vs {reference_logits.shape}"
+        )
+    if engine_logits.size == 0:
+        return 0.0
+    return float(np.abs(engine_logits - reference_logits).max())
+
+
+def assert_lossless_prefill(
+    model: LlamaModel,
+    world_size: int,
+    token_ids: np.ndarray,
+    *,
+    atol: float = 1e-8,
+    **engine_kwargs,
+) -> float:
+    """Run a CP prefill and assert logits match the single-device forward.
+
+    Returns:
+        The measured max error (always ``<= atol`` on return).
+
+    Raises:
+        AssertionError: if the engine diverges from the reference.
+    """
+    token_ids = np.asarray(token_ids, dtype=np.int64)
+    engine = ContextParallelEngine(model, world_size, **engine_kwargs)
+    out = engine.prefill({0: token_ids})
+    err = max_logit_error(out.logits[0], model.forward(token_ids))
+    assert err <= atol, f"CP prefill diverged: max error {err:.3e} > {atol:.1e}"
+    return err
+
+
+def assert_lossless_conversation(
+    model: LlamaModel,
+    world_size: int,
+    turns: list[np.ndarray],
+    *,
+    decode_per_turn: int = 2,
+    atol: float = 1e-8,
+    **engine_kwargs,
+) -> float:
+    """Replay a multi-turn conversation and audit every phase.
+
+    Each turn's prompt is prefetched (full then partial prefill) and
+    ``decode_per_turn`` greedy tokens are generated; after every step the
+    engine output is compared against a monolithic forward over the full
+    history.
+
+    Returns:
+        The worst error observed across the whole conversation.
+    """
+    engine = ContextParallelEngine(model, world_size, **engine_kwargs)
+    history: list[int] = []
+    worst = 0.0
+    for turn in turns:
+        turn = np.asarray(turn, dtype=np.int64)
+        out = engine.prefill({0: turn})
+        history.extend(int(t) for t in turn)
+        ref = model.forward(np.array(history))
+        worst = max(worst, max_logit_error(out.logits[0], ref[-turn.size:]))
+        next_logits = out.last_logits(0)
+        for _ in range(decode_per_turn):
+            tok = int(np.argmax(next_logits))
+            step = engine.decode({0: tok})
+            history.append(tok)
+            ref = model.forward(np.array(history))
+            worst = max(worst, max_logit_error(step.logits[0], ref[-1]))
+            next_logits = step.logits[0]
+    assert worst <= atol, f"conversation diverged: max error {worst:.3e} > {atol:.1e}"
+    return worst

@@ -1,0 +1,28 @@
+"""Synthetic workload generation.
+
+The paper's evaluation sweeps (context lengths 2K-1M, KV-cache miss rates
+1-100%, multi-turn conversations) need reproducible inputs. This package
+generates them:
+
+- :mod:`repro.workloads.generator` — deterministic token/prompt generators
+  and multi-turn conversation scripts.
+- :mod:`repro.workloads.traces` — the parameter grids behind each table
+  and figure, shared by the benchmark harness and EXPERIMENTS.md.
+"""
+
+from repro.workloads.generator import ConversationScript, WorkloadGenerator
+from repro.workloads.traces import (
+    FIG6_CONTEXT_LENGTHS,
+    FIG8_CONTEXT_LENGTHS,
+    TABLE4_SWEEP,
+    table4_rows,
+)
+
+__all__ = [
+    "ConversationScript",
+    "FIG6_CONTEXT_LENGTHS",
+    "FIG8_CONTEXT_LENGTHS",
+    "TABLE4_SWEEP",
+    "WorkloadGenerator",
+    "table4_rows",
+]

@@ -1,0 +1,91 @@
+"""Workload replay glue: conversation scripts -> simulator arrival streams.
+
+Connects the two workload consumers: the *numeric* engine replays
+:class:`repro.workloads.generator.ConversationScript` turn by turn, while
+the *discrete-event* serving simulator consumes
+:class:`repro.serving.simulator.Arrival` streams. This module converts
+between them so the same scripted traffic can drive both levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.simulator import Arrival
+from repro.workloads.generator import ConversationScript
+
+
+def script_to_arrivals(
+    scripts: list[ConversationScript],
+    *,
+    turn_gap_s: float = 30.0,
+    start_offset_s: float = 1.0,
+) -> list[Arrival]:
+    """Flatten conversation scripts into a serving-simulator arrival stream.
+
+    Each turn becomes one request whose context is the conversation's
+    running token count (cached history + the new prompt — what the prefill
+    pool must attend over), with the decode budget as output tokens. Turns
+    of one conversation are spaced ``turn_gap_s`` apart (user think time);
+    conversations start staggered by ``start_offset_s``.
+    """
+    if turn_gap_s < 0 or start_offset_s < 0:
+        raise ValueError("gaps must be non-negative")
+    arrivals: list[Arrival] = []
+    rid = 0
+    for conv_idx, script in enumerate(scripts):
+        cached = 0
+        t = start_offset_s * (conv_idx + 1)
+        for prompt, budget in zip(script.prompts, script.response_budgets):
+            context = cached + int(prompt.size)
+            arrivals.append(
+                Arrival(
+                    request_id=rid,
+                    time=t,
+                    context_tokens=context,
+                    output_tokens=int(budget),
+                )
+            )
+            rid += 1
+            cached = context + int(budget)
+            t += turn_gap_s
+    return sorted(arrivals, key=lambda a: a.time)
+
+
+def replay_script_numeric(engine, script: ConversationScript) -> list[dict]:
+    """Replay one script on the numeric engine; return per-turn records.
+
+    Args:
+        engine: a :class:`repro.core.engine.ContextParallelEngine` whose
+            model vocabulary covers the script's token ids.
+        script: the scripted conversation.
+
+    Returns:
+        Per-turn dicts: ``{"turn", "T", "P", "miss_rate", "algo",
+        "generated"}``.
+    """
+    records = []
+    sid = script.seq_id
+    for turn_idx, (prompt, budget) in enumerate(
+        zip(script.prompts, script.response_budgets)
+    ):
+        cached = engine.context_length(sid)
+        out = engine.prefill({sid: np.asarray(prompt, dtype=np.int64)})
+        generated: list[int] = []
+        logits = out.last_logits(sid)
+        for _ in range(budget):
+            tok = int(np.argmax(logits))
+            step = engine.decode({sid: tok})
+            generated.append(tok)
+            logits = step.logits[sid]
+        records.append(
+            {
+                "turn": turn_idx,
+                "T": int(prompt.size),
+                "P": cached,
+                "miss_rate": out.plan.miss_rate,
+                "algo": out.plan.algo.value,
+                "generated": generated,
+            }
+        )
+    return records

@@ -1,0 +1,90 @@
+"""Tests for the blocked flash-style kernel."""
+
+import numpy as np
+import pytest
+
+from repro.attention.flash import flash_attention
+from repro.attention.reference import reference_attention_with_lse
+
+from helpers import make_qkv
+
+
+class TestFlashMatchesReference:
+    @pytest.mark.parametrize("block_size", [1, 3, 8, 64, 1000])
+    def test_block_size_invariance(self, rng, block_size):
+        q, k, v = make_qkv(rng, 17, 17)
+        ref_out, ref_lse = reference_attention_with_lse(q, k, v)
+        res = flash_attention(q, k, v, block_size=block_size)
+        np.testing.assert_allclose(res.out, ref_out, atol=1e-12)
+        np.testing.assert_allclose(res.lse, ref_lse, atol=1e-12)
+
+    @pytest.mark.parametrize("splits", [1, 2, 5, 17, 50])
+    def test_kv_split_invariance(self, rng, splits):
+        """Flash-Decoding style split-KV is exact for any split count."""
+        q, k, v = make_qkv(rng, 5, 33)
+        ref_out, ref_lse = reference_attention_with_lse(
+            q, k, v, q_pos=np.arange(28, 33), k_pos=np.arange(33)
+        )
+        res = flash_attention(
+            q, k, v, q_pos=np.arange(28, 33), k_pos=np.arange(33),
+            block_size=7, num_kv_splits=splits,
+        )
+        np.testing.assert_allclose(res.out, ref_out, atol=1e-12)
+        np.testing.assert_allclose(res.lse, ref_lse, atol=1e-12)
+
+    def test_partial_prefill_layout(self, rng):
+        """Q over new positions, K over cached + new positions."""
+        p, t = 20, 7
+        q, _, _ = make_qkv(rng, t, 1)
+        _, k, v = make_qkv(rng, 1, p + t)
+        ref_out, ref_lse = reference_attention_with_lse(
+            q, k, v, q_pos=np.arange(p, p + t), k_pos=np.arange(p + t)
+        )
+        res = flash_attention(q, k, v, q_pos=np.arange(p, p + t), k_pos=np.arange(p + t), block_size=5)
+        np.testing.assert_allclose(res.out, ref_out, atol=1e-12)
+
+    def test_fused_sequences(self, rng):
+        q, k, v = make_qkv(rng, 10, 10)
+        pos = np.array([0, 1, 2, 3, 4, 0, 1, 2, 3, 4])
+        seq = np.array([0] * 5 + [1] * 5)
+        ref_out, ref_lse = reference_attention_with_lse(
+            q, k, v, q_pos=pos, k_pos=pos, q_seq=seq, k_seq=seq
+        )
+        res = flash_attention(q, k, v, q_pos=pos, k_pos=pos, q_seq=seq, k_seq=seq, block_size=3)
+        np.testing.assert_allclose(res.out, ref_out, atol=1e-12)
+        np.testing.assert_allclose(res.lse, ref_lse, atol=1e-12)
+
+
+class TestFlashEdgeCases:
+    def test_empty_kv(self, rng):
+        q, _, _ = make_qkv(rng, 3, 1)
+        res = flash_attention(q, np.zeros((0, 2, 16)), np.zeros((0, 2, 16)))
+        assert np.all(res.out == 0)
+        assert np.all(np.isneginf(res.lse))
+
+    def test_empty_queries(self, rng):
+        _, k, v = make_qkv(rng, 1, 5)
+        res = flash_attention(np.zeros((0, 8, 16)), k, v)
+        assert res.out.shape == (0, 8, 16)
+        assert res.lse.shape == (0, 8)
+
+    def test_invalid_block_size(self, rng):
+        q, k, v = make_qkv(rng, 3, 3)
+        with pytest.raises(ValueError):
+            flash_attention(q, k, v, block_size=0)
+
+    def test_invalid_splits(self, rng):
+        q, k, v = make_qkv(rng, 3, 3)
+        with pytest.raises(ValueError):
+            flash_attention(q, k, v, num_kv_splits=0)
+
+    def test_result_tokens_property(self, rng):
+        q, k, v = make_qkv(rng, 4, 4)
+        res = flash_attention(q, k, v)
+        assert res.tokens == 4
+
+    def test_astype(self, rng):
+        q, k, v = make_qkv(rng, 4, 4)
+        res = flash_attention(q, k, v).astype(np.float32)
+        assert res.out.dtype == np.float32
+        assert res.lse.dtype == np.float32

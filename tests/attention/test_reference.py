@@ -1,0 +1,107 @@
+"""Tests for the gold-standard reference attention kernel."""
+
+import numpy as np
+import pytest
+
+from repro.attention.reference import reference_attention, reference_attention_with_lse
+
+from helpers import make_qkv
+
+
+def naive_softmax_attention(q, k, v, mask, scale):
+    """Independent, loop-based oracle (no shared code with the kernel)."""
+    tq, nh, dh = q.shape
+    nkv = k.shape[1]
+    group = nh // nkv
+    out = np.zeros((tq, nh, dh))
+    lse = np.full((tq, nh), -np.inf)
+    for t in range(tq):
+        for h in range(nh):
+            kv_h = h // group
+            scores = []
+            idx = []
+            for s in range(k.shape[0]):
+                if mask[t, s]:
+                    scores.append(float(q[t, h] @ k[s, kv_h]) * scale)
+                    idx.append(s)
+            if not scores:
+                continue
+            scores = np.array(scores)
+            m = scores.max()
+            w = np.exp(scores - m)
+            denom = w.sum()
+            lse[t, h] = m + np.log(denom)
+            out[t, h] = (w[:, None] * v[idx, kv_h]).sum(axis=0) / denom
+    return out, lse
+
+
+class TestReferenceAttention:
+    def test_against_loop_oracle(self, rng):
+        q, k, v = make_qkv(rng, 11, 11)
+        mask = np.tril(np.ones((11, 11), dtype=bool))
+        scale = 1.0 / np.sqrt(q.shape[-1])
+        out, lse = reference_attention_with_lse(q, k, v)
+        exp_out, exp_lse = naive_softmax_attention(q, k, v, mask, scale)
+        np.testing.assert_allclose(out, exp_out, atol=1e-12)
+        np.testing.assert_allclose(lse, exp_lse, atol=1e-12)
+
+    def test_single_token_is_value(self, rng):
+        """One query attending exactly one key returns that value."""
+        q, k, v = make_qkv(rng, 1, 1)
+        out = reference_attention(q, k, v)
+        for h in range(q.shape[1]):
+            np.testing.assert_allclose(out[0, h], v[0, h // 4], atol=1e-12)
+
+    def test_uniform_scores_average_values(self):
+        """Identical keys -> softmax is uniform -> output is mean of values."""
+        t = 6
+        q = np.ones((1, 2, 4))
+        k = np.ones((t, 1, 4))
+        v = np.random.default_rng(3).standard_normal((t, 1, 4))
+        out = reference_attention(q, k, v, q_pos=np.array([t - 1]), k_pos=np.arange(t))
+        np.testing.assert_allclose(out[0, 0], v[:, 0].mean(axis=0), atol=1e-12)
+
+    def test_causal_first_token_sees_itself_only(self, rng):
+        q, k, v = make_qkv(rng, 5, 5)
+        out = reference_attention(q, k, v)
+        for h in range(q.shape[1]):
+            np.testing.assert_allclose(out[0, h], v[0, h // 4], atol=1e-12)
+
+    def test_no_visible_keys_gives_zero_and_neg_inf(self, rng):
+        q, k, v = make_qkv(rng, 2, 3)
+        # queries at positions before all keys
+        out, lse = reference_attention_with_lse(
+            q, k, v, q_pos=np.array([0, 1]), k_pos=np.array([5, 6, 7])
+        )
+        assert np.all(out == 0.0)
+        assert np.all(np.isneginf(lse))
+
+    def test_scale_parameter(self, rng):
+        q, k, v = make_qkv(rng, 4, 4)
+        default = reference_attention(q, k, v)
+        explicit = reference_attention(q, k, v, scale=1.0 / np.sqrt(q.shape[-1]))
+        np.testing.assert_array_equal(default, explicit)
+        different = reference_attention(q, k, v, scale=0.3)
+        assert not np.allclose(default, different)
+
+    def test_cross_sequence_isolation(self, rng):
+        """Fused sequences must not see each other's keys."""
+        q, k, v = make_qkv(rng, 6, 6)
+        pos = np.array([0, 1, 2, 0, 1, 2])
+        seq = np.array([0, 0, 0, 1, 1, 1])
+        fused, _ = reference_attention_with_lse(q, k, v, q_pos=pos, k_pos=pos, q_seq=seq, k_seq=seq)
+        solo0, _ = reference_attention_with_lse(q[:3], k[:3], v[:3])
+        solo1, _ = reference_attention_with_lse(q[3:], k[3:], v[3:])
+        np.testing.assert_allclose(fused[:3], solo0, atol=1e-12)
+        np.testing.assert_allclose(fused[3:], solo1, atol=1e-12)
+
+    def test_softmax_rows_reconstruct(self, rng):
+        """exp(scores - lse) sums to 1 over visible keys (softmax sanity)."""
+        q, k, v = make_qkv(rng, 7, 7, n_heads=4, n_kv_heads=4)
+        _, lse = reference_attention_with_lse(q, k, v)
+        scale = 1.0 / np.sqrt(q.shape[-1])
+        scores = np.einsum("thd,shd->ths", q, k) * scale
+        for t in range(7):
+            for h in range(4):
+                p = np.exp(scores[t, h, : t + 1] - lse[t, h])
+                assert p.sum() == pytest.approx(1.0, abs=1e-12)

@@ -1,0 +1,51 @@
+"""Tests for the pipeline-parallel baseline."""
+
+import pytest
+
+from repro.baselines.pipeline_parallel import pp_prefill
+from repro.model.config import llama3_405b_config
+from repro.perf.hardware import gtt_host
+from repro.perf.latency import LatencySimulator
+
+
+CFG = llama3_405b_config()
+HOST = gtt_host()
+
+
+class TestPipelineParallel:
+    def test_ttft_flat_in_stages(self):
+        """PP does not reduce single-request latency (paper §1)."""
+        one = pp_prefill(CFG, HOST, 131072, stages=1)
+        six = pp_prefill(CFG, HOST, 131072, stages=6)
+        assert six.ttft >= one.ttft  # hand-offs only add
+        assert six.ttft / one.ttft < 1.05
+
+    def test_throughput_scales_with_stages(self):
+        one = pp_prefill(CFG, HOST, 131072, stages=1, micro_batches=64)
+        six = pp_prefill(CFG, HOST, 131072, stages=6, micro_batches=64)
+        assert six.steady_throughput > 5.0 * one.steady_throughput
+
+    def test_bubble_fraction_gpipe(self):
+        r = pp_prefill(CFG, HOST, 131072, stages=6, micro_batches=18)
+        assert r.bubble_fraction == pytest.approx(5 / 23)
+
+    def test_more_microbatches_less_bubble(self):
+        small = pp_prefill(CFG, HOST, 131072, stages=6, micro_batches=6)
+        large = pp_prefill(CFG, HOST, 131072, stages=6, micro_batches=60)
+        assert large.bubble_fraction < small.bubble_fraction
+        assert large.steady_throughput > small.steady_throughput
+
+    def test_cp_beats_pp_on_latency(self):
+        """The paper's contrast, quantified: same hosts, CP wins TTFT."""
+        sim = LatencySimulator(CFG, HOST)
+        cp = sim.cp_prefill(131072, n_ranks=6).total
+        pp = pp_prefill(CFG, HOST, 131072, stages=6).ttft
+        assert pp > 4.0 * cp
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pp_prefill(CFG, HOST, 131072, stages=0)
+        with pytest.raises(ValueError):
+            pp_prefill(CFG, HOST, 131072, stages=5)  # 126 % 5 != 0
+        with pytest.raises(ValueError):
+            pp_prefill(CFG, HOST, 131072, stages=2, micro_batches=0)

@@ -1,0 +1,20 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sharding import SequenceSpec, ShardedKV, ShardedQueries, shard_sequences
+from repro.model.config import tiny_config
+from repro.model.llama import LlamaModel
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_model() -> LlamaModel:
+    return LlamaModel(tiny_config(), seed=7)

@@ -1,0 +1,82 @@
+"""Tests for engine extensions: chunked prefill and quantized KV cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ContextParallelEngine
+from repro.core.heuristics import RingAlgo
+from repro.model.config import tiny_config
+from repro.model.llama import LlamaModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LlamaModel(tiny_config(), seed=17)
+
+
+class TestChunkedPrefill:
+    @pytest.mark.parametrize("chunk", [1, 4, 7, 100])
+    def test_equals_one_shot(self, model, chunk):
+        toks = (np.arange(19) * 3) % model.config.vocab_size
+        chunked = ContextParallelEngine(model, world_size=2).prefill_chunked(
+            0, toks, chunk_tokens=chunk
+        )
+        one_shot = ContextParallelEngine(model, world_size=2).prefill({0: toks})
+        np.testing.assert_allclose(
+            chunked.logits[0], one_shot.logits[0], atol=1e-9
+        )
+
+    def test_later_chunks_are_partial_prefill(self, model):
+        engine = ContextParallelEngine(model, world_size=2)
+        toks = np.arange(12) % model.config.vocab_size
+        out = engine.prefill_chunked(0, toks, chunk_tokens=4, force_algo=RingAlgo.PASS_Q)
+        assert out.plan.cached_tokens == 8  # final chunk saw 8 cached
+        assert engine.context_length(0) == 12
+
+    def test_then_decode(self, model):
+        engine = ContextParallelEngine(model, world_size=3)
+        toks = np.arange(14) % model.config.vocab_size
+        engine.prefill_chunked(0, toks, chunk_tokens=5)
+        step = engine.decode({0: 2})
+        ref = model.forward(np.concatenate([toks, [2]]))
+        np.testing.assert_allclose(step.logits[0], ref[-1], atol=1e-9)
+
+    def test_validation(self, model):
+        engine = ContextParallelEngine(model, world_size=2)
+        with pytest.raises(ValueError):
+            engine.prefill_chunked(0, np.arange(4), chunk_tokens=0)
+        with pytest.raises(ValueError):
+            engine.prefill_chunked(0, np.zeros(0, dtype=np.int64), chunk_tokens=2)
+
+
+class TestQuantizedKvCache:
+    def test_prefill_close_but_lossy(self, model):
+        toks = np.arange(20) % model.config.vocab_size
+        exact = ContextParallelEngine(model, world_size=2).prefill({0: toks})
+        quant = ContextParallelEngine(
+            model, world_size=2, quantized_kv_cache=True
+        ).prefill({0: toks})
+        a, b = exact.logits[0], quant.logits[0]
+        assert not np.array_equal(a, b)  # actually lossy
+        rel = np.abs(a - b).max() / np.abs(a).max()
+        assert rel < 0.05  # but close
+
+    def test_greedy_tokens_usually_stable(self, model):
+        """int8 KV rarely flips greedy argmax on this scale of model."""
+        toks = (np.arange(16) * 7) % model.config.vocab_size
+        exact = ContextParallelEngine(model, world_size=2).generate(
+            {0: toks}, max_new_tokens=3
+        )
+        quant = ContextParallelEngine(
+            model, world_size=2, quantized_kv_cache=True
+        ).generate({0: toks}, max_new_tokens=3)
+        matches = sum(a == b for a, b in zip(exact[0], quant[0]))
+        assert matches >= 2
+
+    def test_multi_turn_quantized(self, model):
+        engine = ContextParallelEngine(model, world_size=2, quantized_kv_cache=True)
+        engine.prefill({0: np.arange(10) % model.config.vocab_size})
+        engine.decode({0: 3})
+        out = engine.prefill({0: np.array([4, 5])})
+        assert out.logits[0].shape == (2, model.config.vocab_size)
+        assert engine.context_length(0) == 13

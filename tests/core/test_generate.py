@@ -1,0 +1,72 @@
+"""Tests for the engine's generation convenience loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ContextParallelEngine
+from repro.model.config import tiny_config
+from repro.model.llama import LlamaModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LlamaModel(tiny_config(), seed=31)
+
+
+class TestGenerate:
+    def test_greedy_matches_single_device(self, model):
+        engine = ContextParallelEngine(model, world_size=3)
+        prompt = (np.arange(9) * 5) % model.config.vocab_size
+        got = engine.generate({0: prompt}, max_new_tokens=4)[0]
+
+        history = list(prompt)
+        expected = []
+        for _ in range(4):
+            logits = model.forward(np.array(history))
+            tok = int(np.argmax(logits[-1]))
+            expected.append(tok)
+            history.append(tok)
+        assert got == expected
+
+    def test_batched_generation(self, model):
+        engine = ContextParallelEngine(model, world_size=2)
+        prompts = {
+            0: np.arange(6) % model.config.vocab_size,
+            1: (np.arange(10) + 1) % model.config.vocab_size,
+        }
+        out = engine.generate(prompts, max_new_tokens=3)
+        assert set(out) == {0, 1}
+        assert all(len(v) == 3 for v in out.values())
+
+    def test_temperature_deterministic_with_rng(self, model):
+        a = ContextParallelEngine(model, world_size=2).generate(
+            {0: np.arange(5)}, max_new_tokens=3,
+            temperature=1.0, rng=np.random.default_rng(4),
+        )
+        b = ContextParallelEngine(model, world_size=2).generate(
+            {0: np.arange(5)}, max_new_tokens=3,
+            temperature=1.0, rng=np.random.default_rng(4),
+        )
+        assert a == b
+
+    def test_stop_tokens_end_early(self, model):
+        engine = ContextParallelEngine(model, world_size=2)
+        prompt = np.arange(8) % model.config.vocab_size
+        # find the first greedy token, then stop on it
+        probe = ContextParallelEngine(model, world_size=2).generate(
+            {0: prompt}, max_new_tokens=1
+        )[0][0]
+        out = engine.generate({0: prompt}, max_new_tokens=5, stop_tokens={probe})
+        assert out[0] == [probe]
+
+    def test_zero_budget(self, model):
+        engine = ContextParallelEngine(model, world_size=2)
+        out = engine.generate({0: np.arange(4)}, max_new_tokens=0)
+        assert out[0] == []
+
+    def test_validation(self, model):
+        engine = ContextParallelEngine(model, world_size=2)
+        with pytest.raises(ValueError):
+            engine.generate({0: np.arange(4)}, max_new_tokens=-1)
+        with pytest.raises(ValueError):
+            engine.generate({0: np.arange(4)}, max_new_tokens=2, temperature=0.5)

@@ -1,0 +1,65 @@
+"""Tests for the prefill planner."""
+
+import pytest
+
+from repro.core.heuristics import RingAlgo
+from repro.core.planner import PrefillPlanner, SelectorKind
+from repro.core.sharding import SequenceSpec
+
+from test_heuristics import llama405b_cp4_config
+
+
+class TestPlannerWithHeuristic:
+    def test_full_prefill_plan(self):
+        planner = PrefillPlanner(llama405b_cp4_config())
+        plan = planner.plan([SequenceSpec(0, 128000)])
+        assert plan.algo is RingAlgo.PASS_KV
+        assert plan.miss_rate == 1.0
+        assert not plan.forced
+
+    def test_high_hit_rate_plan(self):
+        planner = PrefillPlanner(llama405b_cp4_config())
+        plan = planner.plan([SequenceSpec(0, 1280, 126720)])
+        assert plan.algo is RingAlgo.PASS_Q
+
+    def test_batch_aggregation(self):
+        """T and P aggregate across the fused batch."""
+        planner = PrefillPlanner(llama405b_cp4_config())
+        specs = [SequenceSpec(0, 640, 63360), SequenceSpec(1, 640, 63360)]
+        plan = planner.plan(specs)
+        assert plan.new_tokens == 1280
+        assert plan.cached_tokens == 126720
+        assert plan.miss_rate == pytest.approx(0.01)
+
+    def test_selector_kinds_differ_at_boundary(self):
+        t, p = 4160, 123840  # the 3.25% row where Alg 1 and Alg 5 disagree
+        simple = PrefillPlanner(llama405b_cp4_config(), selector=SelectorKind.SIMPLE)
+        refined = PrefillPlanner(llama405b_cp4_config(), selector=SelectorKind.ALL2ALL_AWARE)
+        assert simple.plan([SequenceSpec(0, t, p)]).algo is RingAlgo.PASS_Q
+        assert refined.plan([SequenceSpec(0, t, p)]).algo is RingAlgo.PASS_KV
+
+    def test_force_override(self):
+        planner = PrefillPlanner(llama405b_cp4_config())
+        plan = planner.plan([SequenceSpec(0, 128000)], force_algo=RingAlgo.PASS_Q)
+        assert plan.algo is RingAlgo.PASS_Q
+        assert plan.forced
+
+
+class TestPlannerFallback:
+    def test_no_heuristic_full_prefill(self):
+        planner = PrefillPlanner(None)
+        plan = planner.plan([SequenceSpec(0, 64)])
+        assert plan.algo is RingAlgo.PASS_KV
+
+    def test_no_heuristic_high_hit_rate(self):
+        planner = PrefillPlanner(None)
+        plan = planner.plan([SequenceSpec(0, 4, 396)])  # 1% miss
+        assert plan.algo is RingAlgo.PASS_Q
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            PrefillPlanner(None).plan([])
+
+    def test_zero_new_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            PrefillPlanner(None).plan([SequenceSpec(0, 0, 10)])

@@ -1,0 +1,52 @@
+"""Tests for cluster topology presets."""
+
+import pytest
+
+from repro.distributed.topology import (
+    ClusterTopology,
+    gti_topology,
+    gtt_topology,
+    single_node_topology,
+)
+
+
+class TestPresets:
+    def test_gtt_rdma_bandwidth(self):
+        topo = gtt_topology(4)
+        # 400 Gb/s per GPU derated to 75%: 37.5 GB/s per GPU
+        assert topo.internode_bandwidth == pytest.approx(0.75 * 400e9 / 8)
+        assert topo.world_size == 4
+        assert topo.total_gpus == 32
+
+    def test_gti_achieved_bandwidth(self):
+        """GTI encodes the paper's observed ~3 GB/s per rank over TCP."""
+        topo = gti_topology(2)
+        assert topo.internode_bandwidth == pytest.approx(3e9)
+        assert topo.internode_latency > gtt_topology(2).internode_latency
+
+    def test_cp_link_bandwidth_stripes_over_gpus(self):
+        """Ring messages stripe across the 8 per-KV-head channels (Fig. 5)."""
+        topo = gtt_topology(2)
+        assert topo.cp_link_bandwidth == pytest.approx(8 * topo.internode_bandwidth)
+
+    def test_single_node_uses_nvlink(self):
+        topo = single_node_topology()
+        assert topo.cp_link_bandwidth == pytest.approx(8 * 450e9)
+        assert topo.cp_link_latency == topo.intranode_latency
+
+    def test_with_nodes(self):
+        topo = gtt_topology(2).with_nodes(8)
+        assert topo.num_nodes == 8
+        assert topo.internode_bandwidth == gtt_topology(8).internode_bandwidth
+
+
+class TestValidation:
+    def test_bad_counts(self):
+        with pytest.raises(ValueError):
+            ClusterTopology("x", 0, 8, 1e9, 1e9)
+        with pytest.raises(ValueError):
+            ClusterTopology("x", 1, 0, 1e9, 1e9)
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            ClusterTopology("x", 1, 8, 0, 1e9)

@@ -1,0 +1,46 @@
+"""Tests for the communication tracer."""
+
+import pytest
+
+from repro.distributed.tracer import CommTracer
+
+
+class TestCommTracer:
+    def test_record_and_aggregate(self):
+        tr = CommTracer()
+        tr.record("sendrecv", step=0, nbytes=100, duration=1e-3)
+        tr.record("sendrecv", step=1, nbytes=200, duration=2e-3)
+        tr.record("all2all", nbytes=50, duration=5e-4)
+        assert len(tr) == 3
+        assert tr.total_bytes() == 350
+        assert tr.total_bytes("sendrecv") == 300
+        assert tr.total_duration("all2all") == pytest.approx(5e-4)
+        assert tr.count("sendrecv") == 2
+        assert tr.bytes_by_kind() == {"sendrecv": 300, "all2all": 50}
+
+    def test_clear(self):
+        tr = CommTracer()
+        tr.record("attn", duration=1.0)
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.total_duration() == 0.0
+
+    def test_iteration(self):
+        tr = CommTracer()
+        tr.record("a", nbytes=1)
+        tr.record("b", nbytes=2)
+        kinds = [e.kind for e in tr]
+        assert kinds == ["a", "b"]
+
+    def test_summary_lists_kinds(self):
+        tr = CommTracer()
+        tr.record("sendrecv", nbytes=10, duration=0.1)
+        tr.record("allreduce", nbytes=20, duration=0.2)
+        text = tr.summary()
+        assert "sendrecv" in text and "allreduce" in text
+
+    def test_compute_events_carry_no_bytes(self):
+        tr = CommTracer()
+        tr.record("attn", duration=0.5)
+        assert tr.total_bytes("attn") == 0
+        assert tr.total_duration("attn") == pytest.approx(0.5)

@@ -1,0 +1,46 @@
+"""Tests for the ExperimentResult container."""
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+
+
+class TestExperimentResult:
+    def test_add_row_and_column(self):
+        res = ExperimentResult("Table X", "demo", ["a", "b"])
+        res.add_row(1, 2.0)
+        res.add_row(3, 4.0)
+        assert res.column("a") == [1, 3]
+        assert res.column("b") == [2.0, 4.0]
+
+    def test_row_width_checked(self):
+        res = ExperimentResult("Table X", "demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            res.add_row(1)
+
+    def test_render_contains_everything(self):
+        res = ExperimentResult("Figure 1", "demo", ["col"])
+        res.add_row(1234.5)
+        res.notes.append("a note")
+        text = res.render()
+        assert "Figure 1" in text
+        assert "col" in text
+        assert "1,234" in text or "1234" in text
+        assert "note: a note" in text
+
+    def test_render_markdown_table(self):
+        res = ExperimentResult("Table 9", "demo", ["x", "y"])
+        res.add_row("a", 0.5)
+        md = res.render_markdown()
+        assert md.startswith("### Table 9")
+        assert "| x | y |" in md
+        assert "| a | 0.500 |" in md
+
+    def test_render_empty(self):
+        res = ExperimentResult("Table 0", "empty", ["x"])
+        assert "Table 0" in res.render()
+
+    def test_unknown_column(self):
+        res = ExperimentResult("T", "d", ["a"])
+        with pytest.raises(ValueError):
+            res.column("missing")

@@ -1,0 +1,80 @@
+"""Structural tests for the extension experiments."""
+
+import pytest
+
+from repro.experiments import (
+    capacity_scaling,
+    disaggregation,
+    gqa_sensitivity,
+    pp_vs_cp,
+    serving_load,
+)
+
+
+class TestCapacityScaling:
+    def test_linear_in_ranks(self):
+        res = capacity_scaling.run()
+        bf16 = res.column("max context (bf16 KV)")
+        ranks = res.column("ranks")
+        for n, cap in zip(ranks, bf16):
+            assert cap == n * bf16[0]
+
+    def test_oom_comparison(self):
+        pinned, rr = capacity_scaling.decode_oom_comparison(capacity_per_rank=16, world=4)
+        assert pinned == 16
+        assert rr >= 4 * 16
+
+    def test_max_context_positive(self):
+        from repro.perf.hardware import gtt_host
+
+        assert capacity_scaling.max_context_tokens(1, gtt_host()) > 100_000
+
+
+class TestGqaSensitivity:
+    def test_four_models(self):
+        res = gqa_sensitivity.run()
+        assert len(res.rows) == 4
+        assert res.rows[-1][0] == "llama3-405b-mha"
+
+    def test_mha_counterfactual(self):
+        cfg = gqa_sensitivity.mha_405b_config()
+        assert cfg.n_kv_heads == cfg.n_heads == 128
+        assert cfg.kv_message_ratio == 2.0
+
+
+class TestDisaggregation:
+    def test_long_outputs_favor_disaggregation(self):
+        res = disaggregation.run()
+        assert res.column("winner")[-1] == "disaggregated"
+
+    def test_ttit_constant_per_mode(self):
+        res = disaggregation.run()
+        colo = set(res.column("colocated TTIT (ms)"))
+        disagg = set(res.column("disaggregated TTIT (ms)"))
+        assert len(colo) == 1 and len(disagg) == 1
+        assert min(colo) > max(disagg)
+
+
+class TestPpVsCp:
+    def test_cp_latency_falls_pp_flat(self):
+        res = pp_vs_cp.run()
+        cp = res.column("CP TTFT (s)")
+        pp = res.column("PP TTFT (s)")
+        assert cp[-1] < cp[0] / 4
+        assert pp[-1] > 0.95 * pp[0]
+
+
+class TestServingLoad:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return serving_load.run(n_requests=10)
+
+    def test_modes_alternate(self, result):
+        modes = result.column("mode")
+        assert modes[0::2] == ["colocated"] * (len(modes) // 2)
+        assert modes[1::2] == ["disaggregated"] * (len(modes) // 2)
+
+    def test_disaggregated_tokens_flow_faster(self, result):
+        per_token = result.column("mean ms/token")
+        for colo, disagg in zip(per_token[0::2], per_token[1::2]):
+            assert disagg < colo

@@ -1,0 +1,76 @@
+"""Shared test helpers (importable as `helpers` via pytest pythonpath)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sharding import SequenceSpec, ShardedKV, ShardedQueries, shard_sequences
+
+
+def make_qkv(
+    rng: np.random.Generator,
+    tq: int,
+    tk: int,
+    n_heads: int = 8,
+    n_kv_heads: int = 2,
+    head_dim: int = 16,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Random GQA tensors with the library's token-major layout."""
+    q = rng.standard_normal((tq, n_heads, head_dim))
+    k = rng.standard_normal((tk, n_kv_heads, head_dim))
+    v = rng.standard_normal((tk, n_kv_heads, head_dim))
+    return q, k, v
+
+
+def shard_qkv_full_prefill(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    world_size: int,
+    *,
+    seq_id: int = 0,
+) -> tuple[list[ShardedQueries], list[ShardedKV]]:
+    """Load-balance shard one full-prefill sequence across ranks."""
+    t = q.shape[0]
+    shards = shard_sequences([SequenceSpec(seq_id, t)], world_size)
+    queries, kvs = [], []
+    for pos, sid in shards:
+        queries.append(ShardedQueries(q=q[pos], positions=pos, seq_ids=sid))
+        kvs.append(ShardedKV(k=k[pos], v=v[pos], positions=pos, seq_ids=sid))
+    return queries, kvs
+
+
+def shard_varseq_full_prefill(
+    per_seq_qkv: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]],
+    world_size: int,
+) -> tuple[list[ShardedQueries], list[ShardedKV]]:
+    """Load-balance shard a fused batch of full-prefill sequences."""
+    specs = [SequenceSpec(sid, qkv[0].shape[0]) for sid, qkv in sorted(per_seq_qkv.items())]
+    shards = shard_sequences(specs, world_size)
+    queries, kvs = [], []
+    for pos, sids in shards:
+        qs, ks, vs = [], [], []
+        for p, sid in zip(pos, sids):
+            q, k, v = per_seq_qkv[int(sid)]
+            qs.append(q[int(p)])
+            ks.append(k[int(p)])
+            vs.append(v[int(p)])
+        if qs:
+            queries.append(
+                ShardedQueries(q=np.stack(qs), positions=pos, seq_ids=sids)
+            )
+            kvs.append(
+                ShardedKV(k=np.stack(ks), v=np.stack(vs), positions=pos, seq_ids=sids)
+            )
+        else:
+            nh, dh = next(iter(per_seq_qkv.values()))[0].shape[1:]
+            nkv = next(iter(per_seq_qkv.values()))[1].shape[1]
+            queries.append(
+                ShardedQueries(
+                    q=np.zeros((0, nh, dh)),
+                    positions=np.zeros(0, dtype=np.int64),
+                    seq_ids=np.zeros(0, dtype=np.int64),
+                )
+            )
+            kvs.append(ShardedKV.empty(nkv, dh))
+    return queries, kvs

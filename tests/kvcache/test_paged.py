@@ -1,0 +1,69 @@
+"""Tests for the paged block allocator."""
+
+import pytest
+
+from repro.kvcache.paged import OutOfBlocksError, PagedAllocator
+
+
+class TestPagedAllocator:
+    def test_basic_accounting(self):
+        alloc = PagedAllocator(num_blocks=4, block_size=16)
+        assert alloc.capacity_tokens == 64
+        alloc.append(("s0",), 10)
+        assert alloc.used_blocks == 1
+        assert alloc.stream_tokens(("s0",)) == 10
+        assert alloc.free_tokens() == 3 * 16 + 6
+
+    def test_fill_partial_block_first(self):
+        alloc = PagedAllocator(num_blocks=2, block_size=16)
+        alloc.append(("s0",), 10)
+        alloc.append(("s0",), 6)  # fits in the first block's slack
+        assert alloc.used_blocks == 1
+        alloc.append(("s0",), 1)
+        assert alloc.used_blocks == 2
+
+    def test_oom_raises_and_rolls_back(self):
+        alloc = PagedAllocator(num_blocks=2, block_size=4)
+        alloc.append(("a",), 4)
+        with pytest.raises(OutOfBlocksError):
+            alloc.append(("b",), 9)  # needs 3 blocks, only 1 free
+        # rollback: the free block is still available
+        assert alloc.free_blocks == 1
+        alloc.append(("b",), 4)
+        assert alloc.free_blocks == 0
+
+    def test_rollback_preserves_existing_stream(self):
+        alloc = PagedAllocator(num_blocks=2, block_size=4)
+        alloc.append(("a",), 3)
+        with pytest.raises(OutOfBlocksError):
+            alloc.append(("a",), 20)
+        assert alloc.stream_tokens(("a",)) == 3
+
+    def test_release(self):
+        alloc = PagedAllocator(num_blocks=3, block_size=8)
+        alloc.append(("a",), 20)
+        assert alloc.release(("a",)) == 3
+        assert alloc.free_blocks == 3
+        assert alloc.stream_tokens(("a",)) == 0
+        assert alloc.release(("missing",)) == 0
+
+    def test_multiple_streams(self):
+        alloc = PagedAllocator(num_blocks=4, block_size=4)
+        alloc.append(("a",), 5)
+        alloc.append(("b",), 3)
+        assert set(alloc.streams()) == {("a",), ("b",)}
+        assert alloc.used_blocks == 3
+
+    def test_zero_append_is_noop(self):
+        alloc = PagedAllocator(num_blocks=1, block_size=4)
+        alloc.append(("a",), 0)
+        assert alloc.used_blocks == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PagedAllocator(num_blocks=-1, block_size=4)
+        with pytest.raises(ValueError):
+            PagedAllocator(num_blocks=1, block_size=0)
+        alloc = PagedAllocator(num_blocks=1, block_size=4)
+        with pytest.raises(ValueError):
+            alloc.append(("a",), -1)

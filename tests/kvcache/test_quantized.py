@@ -1,0 +1,80 @@
+"""Tests for quantized KV cache storage."""
+
+import numpy as np
+import pytest
+
+from repro.attention.reference import reference_attention
+from repro.kvcache.quantized import (
+    QuantizedKV,
+    compression_ratio,
+    dequantize_kv,
+    kv_quantization_error,
+    quantize_kv,
+)
+
+from helpers import make_qkv
+
+
+class TestQuantizeKv:
+    def test_roundtrip_error_bound(self, rng):
+        _, k, v = make_qkv(rng, 1, 32)
+        q = quantize_kv(k, v)
+        k2, v2 = dequantize_kv(q)
+        # per-(token, head) half-step bound
+        assert np.all(np.abs(k2 - k) <= 0.5 * q.k_scales[..., None] + 1e-12)
+        assert np.all(np.abs(v2 - v) <= 0.5 * q.v_scales[..., None] + 1e-12)
+
+    def test_relative_error_small(self, rng):
+        _, k, v = make_qkv(rng, 1, 64)
+        ek, ev = kv_quantization_error(k, v)
+        assert ek < 0.01 and ev < 0.01
+
+    def test_token_local_scaling(self):
+        """An outlier token does not degrade other tokens' precision."""
+        k = np.ones((4, 1, 8)) * 0.1
+        k[2] *= 1000  # outlier token
+        v = np.ones_like(k)
+        q = quantize_kv(k, v)
+        k2, _ = dequantize_kv(q)
+        # non-outlier rows keep tight error despite the outlier
+        normal = [0, 1, 3]
+        assert np.abs(k2[normal] - k[normal]).max() < 1e-3
+
+    def test_zero_kv(self):
+        q = quantize_kv(np.zeros((3, 2, 4)), np.zeros((3, 2, 4)))
+        k2, v2 = dequantize_kv(q)
+        assert np.all(k2 == 0) and np.all(v2 == 0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            quantize_kv(np.zeros((3, 2, 4)), np.zeros((3, 2, 5)))
+        with pytest.raises(ValueError):
+            quantize_kv(np.zeros((3, 4)), np.zeros((3, 4)))
+
+
+class TestStorageAccounting:
+    def test_nbytes(self, rng):
+        _, k, v = make_qkv(rng, 1, 10)
+        q = quantize_kv(k, v)
+        codes = k.size + v.size
+        scales = 4 * (q.k_scales.size + q.v_scales.size)
+        assert q.nbytes == codes + scales
+        assert q.tokens == 10
+
+    def test_compression_near_2x_vs_bf16(self, rng):
+        """For DH=128-class heads, int8 + scales approaches 2x vs bf16."""
+        k = np.random.default_rng(0).standard_normal((64, 8, 128))
+        q = quantize_kv(k, k)
+        ratio = compression_ratio(q, element_bytes=2.0)
+        assert 1.9 < ratio < 2.0
+
+
+class TestAttentionQuality:
+    def test_attention_with_quantized_kv_close(self, rng):
+        """End effect: attention over dequantized KV stays close to exact."""
+        q, k, v = make_qkv(rng, 6, 40)
+        exact = reference_attention(q, k, v, q_pos=np.arange(34, 40), k_pos=np.arange(40))
+        k2, v2 = dequantize_kv(quantize_kv(k, v))
+        approx = reference_attention(q, k2, v2, q_pos=np.arange(34, 40), k_pos=np.arange(40))
+        rel = np.abs(approx - exact).max() / np.abs(exact).max()
+        assert rel < 0.02

@@ -1,0 +1,65 @@
+"""Tests for row-wise quantization."""
+
+import numpy as np
+import pytest
+
+from repro.model.quant import QuantizedLinear, dequantize_rowwise, quantize_rowwise
+
+
+class TestRowwiseQuant:
+    def test_roundtrip_error_bounded(self, rng):
+        """Reconstruction error <= half a quantization step per element."""
+        w = rng.standard_normal((16, 32))
+        codes, scales = quantize_rowwise(w)
+        back = dequantize_rowwise(codes, scales)
+        step = scales[:, None]
+        assert np.all(np.abs(back - w) <= 0.5 * step + 1e-12)
+
+    def test_codes_are_int8(self, rng):
+        codes, _ = quantize_rowwise(rng.standard_normal((4, 8)))
+        assert codes.dtype == np.int8
+        assert np.abs(codes).max() <= 127
+
+    def test_amax_maps_to_full_scale(self):
+        w = np.array([[0.5, -2.0, 1.0]])
+        codes, scales = quantize_rowwise(w)
+        assert scales[0] == pytest.approx(2.0 / 127)
+        assert codes[0, 1] == -127
+
+    def test_zero_row(self):
+        codes, scales = quantize_rowwise(np.zeros((2, 4)))
+        assert np.all(codes == 0)
+        assert np.all(scales == 0)
+        np.testing.assert_array_equal(dequantize_rowwise(codes, scales), np.zeros((2, 4)))
+
+    def test_per_row_scales_independent(self):
+        w = np.array([[1.0, 0.0], [100.0, 0.0]])
+        _, scales = quantize_rowwise(w)
+        assert scales[1] == pytest.approx(100 * scales[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize_rowwise(np.zeros(5))
+        with pytest.raises(ValueError):
+            dequantize_rowwise(np.zeros((2, 3), dtype=np.int8), np.zeros(3))
+
+
+class TestQuantizedLinear:
+    def test_apply_close_to_dense(self, rng):
+        w = rng.standard_normal((32, 16))
+        x = rng.standard_normal((4, 32))
+        layer = QuantizedLinear.from_weights(w)
+        dense = x @ w
+        quant = layer.apply(x)
+        rel = np.abs(quant - dense).max() / np.abs(dense).max()
+        assert rel < 0.05  # ~1% typical, 5% bound
+
+    def test_weight_bytes(self, rng):
+        w = rng.standard_normal((32, 16))
+        layer = QuantizedLinear.from_weights(w)
+        assert layer.weight_bytes == 32 * 16 + 4 * 16  # codes + per-output-row scales
+
+    def test_max_abs_error_bound(self, rng):
+        w = rng.standard_normal((8, 8))
+        layer = QuantizedLinear.from_weights(w)
+        assert layer.max_abs_error(w) <= 0.5 * layer.scales.max() + 1e-12

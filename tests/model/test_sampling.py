@@ -1,0 +1,46 @@
+"""Tests for token sampling."""
+
+import numpy as np
+import pytest
+
+from repro.model.sampling import sample_greedy, sample_temperature
+
+
+class TestGreedy:
+    def test_argmax(self):
+        logits = np.array([[0.1, 5.0, -2.0], [3.0, 1.0, 2.0]])
+        np.testing.assert_array_equal(sample_greedy(logits), [1, 0])
+
+    def test_single_vector(self):
+        assert sample_greedy(np.array([1.0, 9.0, 2.0])) == 1
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            sample_greedy(np.float64(3.0))
+
+
+class TestTemperature:
+    def test_low_temperature_approaches_greedy(self):
+        rng = np.random.default_rng(0)
+        logits = np.array([[0.0, 4.0, 1.0]])
+        samples = [sample_temperature(logits, 0.01, rng)[0] for _ in range(50)]
+        assert all(s == 1 for s in samples)
+
+    def test_high_temperature_spreads(self):
+        rng = np.random.default_rng(0)
+        logits = np.array([[0.0, 1.0, 0.5]])
+        samples = {int(sample_temperature(logits, 100.0, rng)[0]) for _ in range(200)}
+        assert samples == {0, 1, 2}
+
+    def test_deterministic_given_rng(self):
+        logits = np.array([[0.0, 1.0, 2.0]])
+        a = sample_temperature(logits, 1.0, np.random.default_rng(7))
+        b = sample_temperature(logits, 1.0, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_temperature(np.zeros((1, 3)), 0.0, rng)
+        with pytest.raises(ValueError):
+            sample_temperature(np.zeros(3), 1.0, rng)

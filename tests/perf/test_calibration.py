@@ -1,0 +1,124 @@
+"""Regression tests pinning the latency model against the paper's anchors.
+
+Every anchor in :data:`repro.perf.hardware.CALIBRATION_ANCHORS` comes from a
+table or figure in the paper; the model must stay within tolerance of each.
+These are the tests that make the benchmark harness's claims checkable: if a
+constant drifts, the corresponding anchor fails by name.
+"""
+
+import pytest
+
+from repro.core.heuristics import RingAlgo
+from repro.model.config import llama3_405b_config
+from repro.perf.hardware import gtt_host
+from repro.perf.latency import LatencySimulator
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return LatencySimulator(llama3_405b_config(), gtt_host())
+
+
+def within(model, paper, rel):
+    assert model == pytest.approx(paper, rel=rel), (
+        f"model {model:.4g} vs paper {paper:.4g} (tol {rel:.0%})"
+    )
+
+
+class TestPrefillAnchors:
+    def test_tp8_128k_ttft(self, sim):
+        within(sim.tp_prefill(131072, n_nodes=1).total, 42.010, 0.10)
+
+    def test_tp8_8k_ttft(self, sim):
+        within(sim.tp_prefill(8192, n_nodes=1).total, 1.740, 0.10)
+
+    def test_tp8_32k_ttft(self, sim):
+        within(sim.tp_prefill(32768, n_nodes=1).total, 7.658, 0.10)
+
+    def test_tp16_128k_ttft(self, sim):
+        within(sim.tp_prefill(131072, n_nodes=2).total, 29.917, 0.10)
+
+    def test_tp32_128k_ttft(self, sim):
+        within(sim.tp_prefill(131072, n_nodes=4).total, 19.841, 0.15)
+
+    def test_cp2_128k_ttft(self, sim):
+        within(sim.cp_prefill(131072, n_ranks=2).total, 21.042, 0.10)
+
+    def test_cp4_128k_ttft(self, sim):
+        within(sim.cp_prefill(131072, n_ranks=4).total, 10.950, 0.10)
+
+    def test_cp8_128k_ttft(self, sim):
+        within(sim.cp_prefill(131072, n_ranks=8).total, 5.85, 0.10)
+
+    def test_cp16_1m_ttft(self, sim):
+        """The headline: 1M tokens in 77 s on 128 GPUs."""
+        within(sim.cp_prefill(1048576, n_ranks=16).total, 77.0, 0.06)
+
+
+class TestPartialPrefillAnchors:
+    def test_table4_passkv_1pct(self, sim):
+        r = sim.cp_prefill(1280, 126720, n_ranks=4, algo=RingAlgo.PASS_KV)
+        within(r.total * 1e3, 1023.39, 0.10)
+
+    def test_table4_passq_1pct(self, sim):
+        r = sim.cp_prefill(1280, 126720, n_ranks=4, algo=RingAlgo.PASS_Q)
+        within(r.total * 1e3, 898.71, 0.10)
+
+    def test_table4_passkv_100pct(self, sim):
+        r = sim.cp_prefill(128000, 0, n_ranks=4, algo=RingAlgo.PASS_KV)
+        within(r.total * 1e3, 11462.15, 0.10)
+
+    def test_table4_passq_100pct(self, sim):
+        r = sim.cp_prefill(128000, 0, n_ranks=4, algo=RingAlgo.PASS_Q)
+        within(r.total * 1e3, 12360.57, 0.10)
+
+    def test_table5_sendrecv_2p5pct(self, sim):
+        r = sim.cp_prefill(3200, 124800, n_ranks=4, algo=RingAlgo.PASS_KV)
+        within(r.sendrecv_per_iter * 1e6, 627.0, 0.10)
+
+    def test_table5_attn_2p5pct(self, sim):
+        r = sim.cp_prefill(3200, 124800, n_ranks=4, algo=RingAlgo.PASS_KV)
+        within(r.attn_per_iter * 1e6, 414.0, 0.10)
+
+    def test_table5_all2all_10pct(self, sim):
+        r = sim.cp_prefill(12800, 115200, n_ranks=4, algo=RingAlgo.PASS_Q)
+        within(r.all2all / 126 * 1e6, 1023.0, 0.15)
+
+    def test_table5_passkv_exposed_at_low_miss(self, sim):
+        """At 2.5% miss, pass-KV SendRecv > ATTN (communication exposed);
+        at 10% it hides — the paper's §4.2.4 narrative."""
+        low = sim.cp_prefill(3200, 124800, n_ranks=4, algo=RingAlgo.PASS_KV)
+        high = sim.cp_prefill(12800, 115200, n_ranks=4, algo=RingAlgo.PASS_KV)
+        assert low.sendrecv_per_iter > low.attn_per_iter
+        assert high.sendrecv_per_iter < high.attn_per_iter
+
+
+class TestDecodeAnchors:
+    def test_tp8_ttit_128k(self, sim):
+        within(sim.tp_decode(131072, n_nodes=1).total * 1e3, 46.26, 0.10)
+
+    def test_tp8_attn_op(self, sim):
+        within(sim.tp_decode(131072, n_nodes=1).attn_op * 1e6, 38.9, 0.12)
+
+    def test_cp2_ttit_128k(self, sim):
+        within(sim.cp_decode(131072, n_ranks=2).total * 1e3, 60.23, 0.10)
+
+    def test_cp2_whole_passq(self, sim):
+        within(sim.cp_decode(131072, n_ranks=2).whole_attn * 1e6, 157.7, 0.10)
+
+    def test_cp4_ttit_128k(self, sim):
+        within(sim.cp_decode(131072, n_ranks=4).total * 1e3, 71.31, 0.10)
+
+    def test_cp4_whole_passq(self, sim):
+        within(sim.cp_decode(131072, n_ranks=4).whole_attn * 1e6, 238.6, 0.10)
+
+    def test_tp16_ttit(self, sim):
+        within(sim.tp_decode(131072, n_nodes=2).total * 1e3, 39.52, 0.10)
+
+    def test_tp32_ttit(self, sim):
+        within(sim.tp_decode(131072, n_nodes=4).total * 1e3, 47.3, 0.10)
+
+    def test_table8_attn_ops_by_rank(self, sim):
+        """Individual attention op shrinks with effective context."""
+        within(sim.cp_decode(131072, n_ranks=2).attn_op * 1e6, 22.0, 0.10)
+        within(sim.cp_decode(131072, n_ranks=4).attn_op * 1e6, 14.7, 0.10)

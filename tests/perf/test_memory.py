@@ -1,0 +1,64 @@
+"""Tests for per-rank HBM budgeting."""
+
+import pytest
+
+from repro.model.config import llama3_405b_config
+from repro.perf.hardware import gtt_host
+from repro.perf.memory import MemoryBudget, activation_bytes, rank_memory_budget
+
+
+CFG = llama3_405b_config()
+HOST = gtt_host()
+
+
+class TestMemoryBudget:
+    def test_405b_fits_one_host_with_fp8(self):
+        """§4.1: row-wise FP8 lets the whole 405B fit one TP8 host."""
+        budget = rank_memory_budget(CFG, HOST)
+        assert budget.weights < budget.hbm_total
+        assert budget.kv_available > 0
+
+    def test_bf16_weights_do_not_fit(self):
+        """Without quantization, 810 GB of weights exceed 768 GB of HBM."""
+        budget = rank_memory_budget(CFG, HOST, ffn_weight_bytes=2.0)
+        assert budget.weights > budget.hbm_total
+
+    def test_kv_available_floor(self):
+        tight = MemoryBudget(hbm_total=10.0, weights=20.0, activations=5.0)
+        assert tight.kv_available == 0.0
+
+    def test_max_context_scales_with_ranks(self):
+        budget = rank_memory_budget(CFG, HOST)
+        c1 = budget.max_context(CFG, 1)
+        c8 = budget.max_context(CFG, 8)
+        assert c8 == 8 * c1
+
+    def test_max_context_doubles_with_int8_kv(self):
+        budget = rank_memory_budget(CFG, HOST)
+        bf16 = budget.max_context(CFG, 4, kv_element_bytes=2.0)
+        int8 = budget.max_context(CFG, 4, kv_element_bytes=1.0)
+        # equal up to integer-token truncation (one token per rank)
+        assert abs(int8 - 2 * bf16) <= 2 * 4
+
+    def test_max_batch_scales_with_ranks(self):
+        """The paper's bullet 3: bigger batches with more CP ranks."""
+        budget = rank_memory_budget(CFG, HOST)
+        b1 = budget.max_batch(CFG, 131072, 1)
+        b8 = budget.max_batch(CFG, 131072, 8)
+        assert b8 >= 7 * max(b1, 1)
+
+    def test_1m_context_feasible_at_8_ranks(self):
+        budget = rank_memory_budget(CFG, HOST, tokens_per_rank=65536)
+        assert budget.max_context(CFG, 8) > 1_048_576
+
+    def test_activation_estimate_scales(self):
+        a = activation_bytes(CFG, 10_000)
+        b = activation_bytes(CFG, 20_000)
+        assert b == pytest.approx(2 * a)
+
+    def test_validation(self):
+        budget = rank_memory_budget(CFG, HOST)
+        with pytest.raises(ValueError):
+            budget.max_context(CFG, 4, batch=0)
+        with pytest.raises(ValueError):
+            budget.max_batch(CFG, 0, 4)

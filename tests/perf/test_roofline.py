@@ -1,0 +1,92 @@
+"""Tests for message sizes and overlap predicates (Tables 2-3, Eqs. 1-3)."""
+
+import pytest
+
+from repro.model.config import llama3_405b_config, tiny_config
+from repro.perf.roofline import (
+    all2all_bytes,
+    can_hide_passkv_comm,
+    can_hide_passq_comm,
+    cp_attn_message_bytes,
+    cp_block_comm_bytes,
+    kv_bytes,
+    q_bytes,
+    tp_block_comm_bytes,
+)
+
+
+CFG = llama3_405b_config()
+
+
+class TestMessageSizes:
+    def test_q_bytes_formula(self):
+        assert q_bytes(CFG, 1000) == 1000 * 16384 * 2
+
+    def test_kv_bytes_gqa_ratio(self):
+        """KV messages are 16x smaller than Q for Llama3 405B (§3.2)."""
+        t = 10000
+        assert q_bytes(CFG, t) / kv_bytes(CFG, t, 0) == pytest.approx(
+            CFG.n_heads / (2 * CFG.n_kv_heads)
+        )
+
+    def test_kv_bytes_include_cache(self):
+        assert kv_bytes(CFG, 100, 900) == kv_bytes(CFG, 1000, 0)
+
+    def test_min_message_selection(self):
+        # full prefill: KV smaller
+        assert cp_attn_message_bytes(CFG, 10000, 0) == kv_bytes(CFG, 10000, 0)
+        # high hit rate: Q smaller
+        assert cp_attn_message_bytes(CFG, 100, 100000) == q_bytes(CFG, 100)
+
+    def test_table2_cp_vs_tp(self):
+        """Table 2: per block, TP moves 2*T*NH*DH vs CP's T*NKV*DH-scale
+        KV traffic — a 16x gap for full prefill on this model."""
+        t = 131072
+        tp = tp_block_comm_bytes(CFG, t)
+        cp = cp_block_comm_bytes(CFG, t, 0)
+        assert tp / cp == pytest.approx(16.0)
+
+
+class TestOverlapPredicates:
+    def test_eq2_monotone_in_t(self):
+        kw = dict(compute_flops=8 * 540e12, bandwidth=220e9)
+        assert can_hide_passkv_comm(CFG, 128000, 4, **kw)
+        assert not can_hide_passkv_comm(CFG, 100, 4, **kw)
+
+    def test_eq2_threshold_independent_of_p(self):
+        """The paper stresses the pass-KV threshold doesn't involve P."""
+        kw = dict(compute_flops=8 * 540e12, bandwidth=220e9)
+        assert can_hide_passkv_comm(CFG, 12800, 4, **kw)
+        # (no P parameter even exists in the predicate)
+
+    def test_eq3_total_context(self):
+        kw = dict(compute_flops=8 * 540e12, bandwidth=220e9)
+        assert can_hide_passq_comm(CFG, 128000, 4, **kw)
+        assert not can_hide_passq_comm(CFG, 1000, 4, **kw)
+
+    def test_more_ranks_raise_thresholds(self):
+        kw = dict(compute_flops=8 * 540e12, bandwidth=220e9)
+        t = 15000
+        assert can_hide_passkv_comm(CFG, t, 4, **kw)
+        assert not can_hide_passkv_comm(CFG, t, 16, **kw)
+
+    def test_gqa_ratio_matters(self):
+        """An MHA model (NKV == NH) has 16x bigger KV messages, making
+        pass-KV much harder to hide."""
+        mha = tiny_config(n_heads=8, n_kv_heads=8)
+        gqa = tiny_config(n_heads=8, n_kv_heads=1)
+        kw = dict(compute_flops=8 * 540e12, bandwidth=220e9)
+        t = 60000
+        assert can_hide_passkv_comm(gqa, t, 4, **kw)
+        assert not can_hide_passkv_comm(mha, t, 4, **kw)
+
+
+class TestAll2AllBytes:
+    def test_appendix_c_formula(self):
+        """(N-1) partials of (D+1) values per token."""
+        n, tokens = 4, 3200
+        expected = 3 * tokens * (16384 + 1) * 2
+        assert all2all_bytes(CFG, tokens, n) == expected
+
+    def test_single_rank_zero(self):
+        assert all2all_bytes(CFG, 100, 1) == 0

@@ -1,0 +1,62 @@
+"""Tests for scaling-analysis helpers."""
+
+import pytest
+
+from repro.model.config import llama3_405b_config
+from repro.perf.hardware import gtt_host
+from repro.perf.latency import LatencySimulator
+from repro.perf.scaling import (
+    amdahl_serial_fraction,
+    parallelization_efficiency,
+    scaling_ratio,
+    speedup_curve,
+)
+
+
+class TestScalingMath:
+    def test_scaling_ratio(self):
+        assert scaling_ratio(8.0, 2.0) == 4.0
+        with pytest.raises(ValueError):
+            scaling_ratio(0.0, 1.0)
+
+    def test_parallelization_efficiency(self):
+        assert parallelization_efficiency(8.0, 1.0, 8) == pytest.approx(1.0)
+        assert parallelization_efficiency(8.0, 2.0, 8) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            parallelization_efficiency(1.0, 1.0, 0)
+
+    def test_speedup_curve(self):
+        curve = speedup_curve({1: 10.0, 2: 5.0, 4: 3.0})
+        assert curve[1] == 1.0
+        assert curve[2] == 2.0
+        assert curve[4] == pytest.approx(10 / 3)
+        with pytest.raises(ValueError):
+            speedup_curve({2: 5.0})
+
+    def test_amdahl_perfect_scaling(self):
+        lat = {n: 8.0 / n for n in (1, 2, 4, 8)}
+        assert amdahl_serial_fraction(lat) == pytest.approx(0.0, abs=1e-12)
+
+    def test_amdahl_pure_serial(self):
+        lat = {n: 8.0 for n in (1, 2, 4, 8)}
+        assert amdahl_serial_fraction(lat) == pytest.approx(1.0, abs=1e-12)
+
+    def test_amdahl_recovers_planted_fraction(self):
+        s = 0.2
+        lat = {n: 10.0 * (s + (1 - s) / n) for n in (1, 2, 4, 8, 16)}
+        assert amdahl_serial_fraction(lat) == pytest.approx(s, abs=1e-9)
+
+
+class TestPaperScalingNumbers:
+    def test_cp_efficiency_high_at_128k(self):
+        sim = LatencySimulator(llama3_405b_config(), gtt_host())
+        lat = {n: sim.cp_prefill(131072, n_ranks=n).total for n in (1, 2, 4, 8)}
+        assert parallelization_efficiency(lat[1], lat[8], 8) > 0.85
+
+    def test_tp_serial_fraction_dominates_cp(self):
+        """Amdahl view of Figure 7: TP's exposed AllReduce behaves as a
+        much larger serial fraction than CP's ring setup."""
+        sim = LatencySimulator(llama3_405b_config(), gtt_host())
+        cp = {n: sim.cp_prefill(131072, n_ranks=n).total for n in (1, 2, 4, 8)}
+        tp = {n: sim.tp_prefill(131072, n_nodes=n).total for n in (1, 2, 4, 8)}
+        assert amdahl_serial_fraction(tp) > 4 * amdahl_serial_fraction(cp)

@@ -1,0 +1,62 @@
+"""Property-based tests: heuristic selectors behave monotonically."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heuristics import (
+    HeuristicConfig,
+    RingAlgo,
+    select_algo_simple,
+    select_algo_with_all2all,
+)
+
+SETTINGS = dict(max_examples=100, deadline=None)
+
+
+@st.composite
+def config_strategy(draw):
+    nkv = draw(st.sampled_from([1, 2, 4, 8]))
+    group = draw(st.sampled_from([1, 2, 4, 8, 16]))
+    return HeuristicConfig(
+        n_heads=nkv * group,
+        n_kv_heads=nkv,
+        element_bytes=draw(st.sampled_from([1.0, 2.0])),
+        peak_compute=draw(st.floats(1e14, 1e16)),
+        bandwidth=draw(st.floats(1e9, 1e12)),
+        world_size=draw(st.integers(1, 16)),
+    )
+
+
+class TestSelectorMonotonicity:
+    @given(config_strategy(), st.integers(1, 10**6), st.integers(0, 10**7))
+    @settings(**SETTINGS)
+    def test_full_prefill_with_large_t_is_passkv(self, cfg, t, p):
+        """Above both thresholds the answer is always pass-KV."""
+        big_t = int(cfg.passkv_overlap_threshold) + 1 + t
+        assert select_algo_simple(cfg, big_t, p) is RingAlgo.PASS_KV
+
+    @given(config_strategy(), st.integers(1, 10**6), st.integers(0, 10**7))
+    @settings(**SETTINGS)
+    def test_alg5_never_moves_kv_to_q(self, cfg, t, p):
+        """Algorithm 5 is Algorithm 1 with an extra pass-KV-favouring term:
+        anything Algorithm 1 sends to pass-KV stays pass-KV."""
+        if select_algo_simple(cfg, t, p) is RingAlgo.PASS_KV:
+            assert select_algo_with_all2all(cfg, t, p) is RingAlgo.PASS_KV
+
+    @given(config_strategy(), st.integers(1, 10**5), st.integers(0, 10**7))
+    @settings(**SETTINGS)
+    def test_monotone_in_cached_tokens(self, cfg, t, p):
+        """Adding cached tokens (raising hit rate) can only move the choice
+        toward pass-Q, never back toward pass-KV."""
+        first = select_algo_simple(cfg, t, p)
+        more_cache = select_algo_simple(cfg, t, p + 10_000)
+        if first is RingAlgo.PASS_Q:
+            assert more_cache is RingAlgo.PASS_Q
+
+    @given(config_strategy(), st.integers(0, 10**6))
+    @settings(**SETTINGS)
+    def test_decode_shape_prefers_passq_when_overlap_fails(self, cfg, p):
+        """T=1 with a huge cache picks pass-Q unless the overlap threshold
+        is microscopically small."""
+        if cfg.passkv_overlap_threshold > 1 and (1 / (1 + p)) < cfg.kv_message_ratio:
+            assert select_algo_simple(cfg, 1, p) is RingAlgo.PASS_Q

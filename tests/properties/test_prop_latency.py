@@ -1,0 +1,80 @@
+"""Property-based tests: latency-model sanity (monotonicity, consistency)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heuristics import RingAlgo
+from repro.model.config import llama3_405b_config
+from repro.perf.hardware import gti_host, gtt_host
+from repro.perf.latency import LatencySimulator
+
+SIM = LatencySimulator(llama3_405b_config(), gtt_host())
+SIM_GTI = LatencySimulator(llama3_405b_config(), gti_host())
+SETTINGS = dict(max_examples=60, deadline=None)
+
+tokens_st = st.integers(64, 300_000)
+ranks_st = st.sampled_from([1, 2, 4, 8, 16])
+
+
+class TestPrefillProperties:
+    @given(tokens_st, ranks_st)
+    @settings(**SETTINGS)
+    def test_more_tokens_more_time(self, t, n):
+        a = SIM.cp_prefill(t, n_ranks=n).total
+        b = SIM.cp_prefill(t + 5000, n_ranks=n).total
+        assert b > a
+
+    @given(tokens_st, ranks_st)
+    @settings(**SETTINGS)
+    def test_breakdown_sums_to_total(self, t, n):
+        for algo in (RingAlgo.PASS_KV, RingAlgo.PASS_Q):
+            r = SIM.cp_prefill(t, n_ranks=n, algo=algo)
+            parts = r.gemm + r.attn + r.exposed_comm + r.all2all + r.overhead
+            assert abs(r.total - parts) < 1e-9 * max(r.total, 1.0)
+
+    @given(tokens_st, st.integers(0, 200_000), ranks_st)
+    @settings(**SETTINGS)
+    def test_auto_never_worse_than_either(self, t, p, n):
+        auto = SIM.cp_prefill(t, p, n_ranks=n).total
+        kv = SIM.cp_prefill(t, p, n_ranks=n, algo=RingAlgo.PASS_KV).total
+        qq = SIM.cp_prefill(t, p, n_ranks=n, algo=RingAlgo.PASS_Q).total
+        assert auto <= min(kv, qq) + 1e-12
+
+    @given(tokens_st)
+    @settings(**SETTINGS)
+    def test_gti_never_faster_than_gtt(self, t):
+        """Slower network can only hurt (compute is identical)."""
+        for n in (2, 4):
+            gtt = SIM.cp_prefill(t, n_ranks=n).total
+            gti = SIM_GTI.cp_prefill(t, n_ranks=n).total
+            assert gti >= gtt - 1e-12
+
+    @given(tokens_st, st.integers(0, 200_000))
+    @settings(**SETTINGS)
+    def test_cached_tokens_increase_attention_only(self, t, p):
+        base = SIM.cp_prefill(t, 0, n_ranks=4, algo=RingAlgo.PASS_KV)
+        cached = SIM.cp_prefill(t, p, n_ranks=4, algo=RingAlgo.PASS_KV)
+        assert cached.attn >= base.attn
+        assert cached.gemm == base.gemm  # linear layers see only new tokens
+
+
+class TestDecodeProperties:
+    @given(st.integers(1024, 1_000_000), st.integers(1, 16), ranks_st)
+    @settings(**SETTINGS)
+    def test_whole_attn_composition(self, ctx, batch, n):
+        d = SIM.cp_decode(ctx, batch=batch, n_ranks=n)
+        assert abs(d.whole_attn - (d.attn_ring + d.sendrecv + d.all2all)) < 1e-12
+
+    @given(st.integers(1024, 500_000), st.integers(1, 8))
+    @settings(**SETTINGS)
+    def test_ttit_monotone_in_context(self, ctx, batch):
+        a = SIM.cp_decode(ctx, batch=batch, n_ranks=2).total
+        b = SIM.cp_decode(ctx + 100_000, batch=batch, n_ranks=2).total
+        assert b >= a
+
+    @given(st.integers(1024, 500_000), ranks_st)
+    @settings(**SETTINGS)
+    def test_tp_weights_scale_inverse(self, ctx, n):
+        d = SIM.tp_decode(ctx, n_nodes=n)
+        d1 = SIM.tp_decode(ctx, n_nodes=1)
+        assert abs(d.weights - d1.weights / n) < 1e-12

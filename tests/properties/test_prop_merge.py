@@ -1,0 +1,107 @@
+"""Property-based tests: merge attention is an exact, well-behaved monoid."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attention.flash import AttentionResult
+from repro.attention.reference import reference_attention_with_lse
+from repro.core.merge import merge_partials
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+
+def qkv_strategy(draw, max_tokens=24):
+    seed = draw(st.integers(0, 2**31 - 1))
+    tq = draw(st.integers(1, 8))
+    tk = draw(st.integers(1, max_tokens))
+    rng = np.random.default_rng(seed)
+    q = rng.standard_normal((tq, 4, 8))
+    k = rng.standard_normal((tk, 2, 8))
+    v = rng.standard_normal((tk, 2, 8))
+    return q, k, v, tq, tk
+
+
+@st.composite
+def attention_case(draw):
+    q, k, v, tq, tk = qkv_strategy(draw)
+    # queries positioned at the tail so most keys are visible
+    q_pos = np.arange(tk - tq, tk) if tk >= tq else np.arange(tq)
+    k_pos = np.arange(tk)
+    n_chunks = draw(st.integers(1, min(6, tk)))
+    edges = np.linspace(0, tk, n_chunks + 1, dtype=int)
+    return q, k, v, q_pos, k_pos, edges
+
+
+class TestMergeProperties:
+    @given(attention_case())
+    @settings(**SETTINGS)
+    def test_chunked_merge_equals_monolithic(self, case):
+        """For ANY chunking of the KV range, merging partials is exact."""
+        q, k, v, q_pos, k_pos, edges = case
+        full_out, full_lse = reference_attention_with_lse(q, k, v, q_pos=q_pos, k_pos=k_pos)
+        partials = []
+        for lo, hi in zip(edges, edges[1:]):
+            o, l = reference_attention_with_lse(
+                q, k[lo:hi], v[lo:hi], q_pos=q_pos, k_pos=k_pos[lo:hi]
+            )
+            partials.append(AttentionResult(out=o, lse=l))
+        merged = merge_partials(partials)
+        np.testing.assert_allclose(merged.out, full_out, atol=1e-9)
+        np.testing.assert_allclose(merged.lse, full_lse, atol=1e-9)
+
+    @given(attention_case(), st.randoms())
+    @settings(**SETTINGS)
+    def test_merge_order_invariance(self, case, pyrandom):
+        """Merging is commutative: any permutation of partials agrees."""
+        q, k, v, q_pos, k_pos, edges = case
+        partials = []
+        for lo, hi in zip(edges, edges[1:]):
+            o, l = reference_attention_with_lse(
+                q, k[lo:hi], v[lo:hi], q_pos=q_pos, k_pos=k_pos[lo:hi]
+            )
+            partials.append(AttentionResult(out=o, lse=l))
+        shuffled = list(partials)
+        pyrandom.shuffle(shuffled)
+        a = merge_partials(partials)
+        b = merge_partials(shuffled)
+        np.testing.assert_allclose(a.out, b.out, atol=1e-9)
+        np.testing.assert_allclose(a.lse, b.lse, atol=1e-9)
+
+    @given(attention_case())
+    @settings(**SETTINGS)
+    def test_merge_associativity(self, case):
+        """merge(merge(a, b), c) == merge(a, merge(b, c)) == merge(a,b,c)."""
+        q, k, v, q_pos, k_pos, _ = case
+        tk = k.shape[0]
+        edges = np.linspace(0, tk, 4, dtype=int)
+        parts = []
+        for lo, hi in zip(edges, edges[1:]):
+            o, l = reference_attention_with_lse(
+                q, k[lo:hi], v[lo:hi], q_pos=q_pos, k_pos=k_pos[lo:hi]
+            )
+            parts.append(AttentionResult(out=o, lse=l))
+        left = merge_partials([merge_partials(parts[:2]), parts[2]])
+        right = merge_partials([parts[0], merge_partials(parts[1:])])
+        flat = merge_partials(parts)
+        np.testing.assert_allclose(left.out, right.out, atol=1e-9)
+        np.testing.assert_allclose(left.out, flat.out, atol=1e-9)
+        np.testing.assert_allclose(left.lse, flat.lse, atol=1e-9)
+
+    @given(attention_case())
+    @settings(**SETTINGS)
+    def test_output_in_value_convex_hull(self, case):
+        """Attention output per head lies inside the values' bounding box
+        (softmax weights are a convex combination)."""
+        q, k, v, q_pos, k_pos, edges = case
+        partials = []
+        for lo, hi in zip(edges, edges[1:]):
+            o, l = reference_attention_with_lse(
+                q, k[lo:hi], v[lo:hi], q_pos=q_pos, k_pos=k_pos[lo:hi]
+            )
+            partials.append(AttentionResult(out=o, lse=l))
+        merged = merge_partials(partials)
+        vmin, vmax = v.min() - 1e-9, v.max() + 1e-9
+        visible = ~np.isneginf(merged.lse)
+        assert np.all(merged.out[visible] >= vmin)
+        assert np.all(merged.out[visible] <= vmax)

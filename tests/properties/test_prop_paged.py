@@ -1,0 +1,71 @@
+"""Property-based tests: paged allocator conservation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.kvcache.paged import OutOfBlocksError, PagedAllocator
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    """Stateful test: blocks are conserved under any append/release order."""
+
+    def __init__(self):
+        super().__init__()
+        self.alloc = PagedAllocator(num_blocks=16, block_size=8)
+        self.model_tokens: dict[tuple, int] = {}
+
+    @rule(stream=st.integers(0, 5), n=st.integers(0, 30))
+    def append(self, stream, n):
+        key = (stream,)
+        try:
+            self.alloc.append(key, n)
+            self.model_tokens[key] = self.model_tokens.get(key, 0) + n
+        except OutOfBlocksError:
+            pass  # state must be unchanged; invariants verify
+
+    @rule(stream=st.integers(0, 5))
+    def release(self, stream):
+        key = (stream,)
+        self.alloc.release(key)
+        self.model_tokens.pop(key, None)
+
+    @invariant()
+    def tokens_match_model(self):
+        for key, tokens in self.model_tokens.items():
+            assert self.alloc.stream_tokens(key) == tokens
+
+    @invariant()
+    def blocks_conserved(self):
+        assert self.alloc.free_blocks + self.alloc.used_blocks == 16
+
+    @invariant()
+    def used_blocks_cover_tokens(self):
+        for key, tokens in self.model_tokens.items():
+            needed = -(-tokens // 8)
+            # block count for the stream is exactly ceil(tokens / block)
+            assert self.alloc.stream_tokens(key) <= needed * 8
+
+    @invariant()
+    def free_tokens_consistent(self):
+        free = self.alloc.free_tokens()
+        total_stored = sum(self.model_tokens.values())
+        assert free >= self.alloc.free_blocks * 8
+        assert total_stored + free >= 16 * 8 - 8  # slack bounded per stream
+
+
+TestAllocatorMachine = AllocatorMachine.TestCase
+
+
+class TestAppendProperties:
+    @given(st.lists(st.integers(1, 10), min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_chunked_appends_equal_bulk(self, chunks):
+        total = sum(chunks)
+        a = PagedAllocator(num_blocks=100, block_size=4)
+        for c in chunks:
+            a.append(("s",), c)
+        b = PagedAllocator(num_blocks=100, block_size=4)
+        b.append(("s",), total)
+        assert a.stream_tokens(("s",)) == b.stream_tokens(("s",))
+        assert a.used_blocks == b.used_blocks

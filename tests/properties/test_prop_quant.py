@@ -1,0 +1,56 @@
+"""Property-based tests: row-wise quantization invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.quant import dequantize_rowwise, quantize_rowwise
+
+SETTINGS = dict(max_examples=60, deadline=None)
+
+
+@st.composite
+def weight_matrix(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    rows = draw(st.integers(1, 20))
+    cols = draw(st.integers(1, 40))
+    scale = draw(st.floats(1e-6, 1e6))
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((rows, cols)) * scale
+
+
+class TestQuantProperties:
+    @given(weight_matrix())
+    @settings(**SETTINGS)
+    def test_error_bounded_by_half_step(self, w):
+        codes, scales = quantize_rowwise(w)
+        back = dequantize_rowwise(codes, scales)
+        bound = 0.5 * scales[:, None] + 1e-12 * np.abs(w).max()
+        assert np.all(np.abs(back - w) <= bound)
+
+    @given(weight_matrix())
+    @settings(**SETTINGS)
+    def test_idempotent(self, w):
+        """Quantizing a dequantized matrix is a fixed point."""
+        codes, scales = quantize_rowwise(w)
+        back = dequantize_rowwise(codes, scales)
+        codes2, scales2 = quantize_rowwise(back)
+        np.testing.assert_array_equal(codes, codes2)
+        np.testing.assert_allclose(scales, scales2, rtol=1e-12)
+
+    @given(weight_matrix(), st.floats(1e-3, 1e3))
+    @settings(**SETTINGS)
+    def test_scale_equivariance(self, w, c):
+        """quantize(c * w) has codes equal to quantize(w)'s and scales
+        multiplied by c."""
+        codes_a, scales_a = quantize_rowwise(w)
+        codes_b, scales_b = quantize_rowwise(c * w)
+        np.testing.assert_array_equal(codes_a, codes_b)
+        np.testing.assert_allclose(scales_b, c * scales_a, rtol=1e-9)
+
+    @given(weight_matrix())
+    @settings(**SETTINGS)
+    def test_sign_preserved(self, w):
+        codes, _ = quantize_rowwise(w)
+        nonzero = codes != 0
+        assert np.all(np.sign(codes[nonzero]) == np.sign(w[nonzero]))

@@ -1,0 +1,95 @@
+"""Property-based tests: load-balanced sharding invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sharding import (
+    SequenceSpec,
+    causal_flops_per_rank,
+    load_balanced_chunks,
+    shard_positions,
+    shard_sequences,
+)
+
+SETTINGS = dict(max_examples=80, deadline=None)
+
+
+class TestChunkProperties:
+    @given(st.integers(0, 5000), st.integers(1, 16))
+    @settings(**SETTINGS)
+    def test_chunks_partition(self, length, world):
+        chunks = load_balanced_chunks(length, world)
+        assert len(chunks) == 2 * world
+        assert chunks[0][0] == 0
+        assert chunks[-1][1] == length
+        for (_, b), (c, _) in zip(chunks, chunks[1:]):
+            assert b == c
+
+    @given(st.integers(0, 5000), st.integers(1, 16))
+    @settings(**SETTINGS)
+    def test_chunk_sizes_differ_by_at_most_one(self, length, world):
+        sizes = [b - a for a, b in load_balanced_chunks(length, world)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestShardProperties:
+    @given(st.integers(1, 2000), st.integers(1, 12), st.integers(0, 10000))
+    @settings(**SETTINGS)
+    def test_positions_partition_range(self, length, world, offset):
+        shards = shard_positions(length, world, offset=offset)
+        merged = np.sort(np.concatenate(shards))
+        np.testing.assert_array_equal(merged, np.arange(offset, offset + length))
+
+    @given(st.integers(1, 2000), st.integers(1, 12))
+    @settings(**SETTINGS)
+    def test_token_balance(self, length, world):
+        """Per-rank token counts differ by at most 2 (one per chunk)."""
+        sizes = [s.shape[0] for s in shard_positions(length, world)]
+        assert max(sizes) - min(sizes) <= 2
+
+    @given(st.integers(32, 4000), st.integers(2, 8))
+    @settings(**SETTINGS)
+    def test_causal_work_balance(self, length, world):
+        """Attention-FLOP share per rank stays within ~15% of ideal for
+        non-degenerate lengths (exact at multiples of 2N)."""
+        work = causal_flops_per_rank(length, world)
+        ideal = work.sum() / world
+        assert np.all(work <= ideal * 1.3 + length)
+        if length % (2 * world) == 0:
+            np.testing.assert_allclose(work, ideal, rtol=1e-12)
+
+
+class TestVarseqProperties:
+    @given(
+        st.lists(st.tuples(st.integers(1, 200), st.integers(0, 300)), min_size=1, max_size=6),
+        st.integers(1, 8),
+    )
+    @settings(**SETTINGS)
+    def test_fused_batch_partitions_each_sequence(self, sizes, world):
+        specs = [
+            SequenceSpec(i, new, cached) for i, (new, cached) in enumerate(sizes)
+        ]
+        shards = shard_sequences(specs, world)
+        for spec in specs:
+            got = []
+            for pos, sid in shards:
+                got.extend(int(p) for p, s in zip(pos, sid) if s == spec.seq_id)
+            expected = list(range(spec.cached_tokens, spec.cached_tokens + spec.new_tokens))
+            assert sorted(got) == expected
+
+    @given(
+        st.lists(st.integers(1, 100), min_size=1, max_size=5),
+        st.integers(1, 6),
+    )
+    @settings(**SETTINGS)
+    def test_batch_order_preserved_within_rank(self, sizes, world):
+        """Within a rank, sequence blocks appear in batch order (fused
+        layout, Figure 1)."""
+        specs = [SequenceSpec(i, n) for i, n in enumerate(sizes)]
+        shards = shard_sequences(specs, world)
+        for _, sid in shards:
+            non_decreasing_blocks = all(
+                sid[i] <= sid[i + 1] for i in range(len(sid) - 1)
+            )
+            assert non_decreasing_blocks

@@ -1,0 +1,59 @@
+"""Tests for serving metrics aggregation."""
+
+import pytest
+
+from repro.serving.metrics import ServingMetrics
+from repro.serving.request import TurnRecord
+
+
+def turn(prompt, cached, response=2, algo="pass-kv"):
+    return TurnRecord(
+        seq_id=0, prompt_tokens=prompt, cached_tokens=cached,
+        response_tokens=response, algo=algo,
+    )
+
+
+class TestServingMetrics:
+    def test_token_accounting(self):
+        m = ServingMetrics()
+        m.record_turn(turn(100, 0, response=5))
+        m.record_turn(turn(10, 105, response=3))
+        assert m.total_prompt_tokens == 110
+        assert m.total_generated_tokens == 8
+
+    def test_cache_hit_rate(self):
+        m = ServingMetrics()
+        m.record_turn(turn(100, 0))      # hit rate 0
+        m.record_turn(turn(50, 50))      # hit rate 0.5
+        assert m.mean_cache_hit_rate == pytest.approx(0.25)
+
+    def test_algo_counts(self):
+        m = ServingMetrics()
+        m.record_turn(turn(10, 0, algo="pass-kv"))
+        m.record_turn(turn(1, 100, algo="pass-q"))
+        m.record_turn(turn(1, 200, algo="pass-q"))
+        assert m.algo_counts() == {"pass-kv": 1, "pass-q": 2}
+
+    def test_latency_percentiles(self):
+        m = ServingMetrics()
+        for i, t in enumerate([1.0, 2.0, 3.0]):
+            m.record_turn(turn(10, 0), ttft=t, ttit=t / 100)
+        assert m.percentile_ttft(50) == pytest.approx(2.0)
+        assert m.percentile_ttit(100) == pytest.approx(0.03)
+
+    def test_percentiles_require_samples(self):
+        with pytest.raises(ValueError):
+            ServingMetrics().percentile_ttft(50)
+        with pytest.raises(ValueError):
+            ServingMetrics().percentile_ttit(50)
+
+    def test_summary_renders(self):
+        m = ServingMetrics()
+        m.record_turn(turn(10, 0), ttft=1.5, ttit=0.05)
+        text = m.summary()
+        assert "turns: 1" in text
+        assert "p50 TTFT" in text
+        assert "p50 TTIT" in text
+
+    def test_empty_summary(self):
+        assert "turns: 0" in ServingMetrics().summary()

@@ -1,0 +1,120 @@
+"""Tests for the discrete-event serving simulator."""
+
+import pytest
+
+from repro.model.config import llama3_405b_config
+from repro.perf.hardware import gtt_host
+from repro.serving.simulator import Arrival, ClusterServingSimulator, poisson_arrivals
+
+
+@pytest.fixture(scope="module")
+def colocated():
+    return ClusterServingSimulator(llama3_405b_config(), gtt_host(), n_ranks=4)
+
+
+@pytest.fixture(scope="module")
+def disaggregated():
+    return ClusterServingSimulator(
+        llama3_405b_config(), gtt_host(), n_ranks=4, disaggregated=True
+    )
+
+
+def burst(n, context=32768, output=8, gap=0.0):
+    return [
+        Arrival(request_id=i, time=i * gap, context_tokens=context, output_tokens=output)
+        for i in range(n)
+    ]
+
+
+class TestColocated:
+    def test_single_request_ttft_matches_model(self, colocated):
+        report = colocated.simulate(burst(1, output=0))
+        expected = colocated.sim.cp_prefill(32768, n_ranks=4).total
+        assert report.completions[0].ttft == pytest.approx(expected)
+
+    def test_fifo_queueing(self, colocated):
+        report = colocated.simulate(burst(3, output=0))
+        ttfts = [c.ttft for c in report.completions]
+        # back-to-back arrivals queue: TTFT grows ~linearly in position
+        assert ttfts[0] < ttfts[1] < ttfts[2]
+        assert ttfts[2] == pytest.approx(3 * ttfts[0], rel=0.01)
+
+    def test_decode_completes_all_tokens(self, colocated):
+        report = colocated.simulate(burst(2, output=5))
+        for c in report.completions:
+            assert c.decoded == 5
+            assert c.finish > c.first_token
+
+    def test_prefill_preempts_decode(self, colocated):
+        """A later arrival's prefill runs before earlier decodes finish."""
+        arrivals = [
+            Arrival(request_id=0, time=0.0, context_tokens=32768, output_tokens=100),
+            Arrival(request_id=1, time=0.1, context_tokens=32768, output_tokens=0),
+        ]
+        report = colocated.simulate(arrivals)
+        first = next(c for c in report.completions if c.request_id == 0)
+        second = next(c for c in report.completions if c.request_id == 1)
+        # request 1's prefill completed before request 0's 100-token decode
+        assert second.first_token < first.finish
+
+    def test_idle_gap_jumps(self, colocated):
+        arrivals = [
+            Arrival(request_id=0, time=0.0, context_tokens=8192, output_tokens=0),
+            Arrival(request_id=1, time=1000.0, context_tokens=8192, output_tokens=0),
+        ]
+        report = colocated.simulate(arrivals)
+        second = next(c for c in report.completions if c.request_id == 1)
+        assert second.prefill_start == pytest.approx(1000.0)
+        assert second.queueing == pytest.approx(0.0)
+
+    def test_empty(self, colocated):
+        report = colocated.simulate([])
+        assert report.completions == []
+
+
+class TestDisaggregated:
+    def test_decode_not_preempted(self, colocated, disaggregated):
+        """Under a prefill-heavy stream, disaggregated per-token latency
+        stays at TP8 TTIT while colocated stalls."""
+        arrivals = burst(6, context=65536, output=16, gap=2.0)
+        colo = colocated.simulate(arrivals)
+        disagg = disaggregated.simulate(arrivals)
+
+        def mean_per_token(report):
+            vals = [
+                (c.finish - c.first_token) / c.decoded for c in report.completions
+            ]
+            return sum(vals) / len(vals)
+
+        assert mean_per_token(disagg) < 0.5 * mean_per_token(colo)
+
+    def test_transfer_tail_in_ttft(self, colocated, disaggregated):
+        colo = colocated.simulate(burst(1, output=0))
+        disagg = disaggregated.simulate(burst(1, output=0))
+        assert disagg.completions[0].ttft > colo.completions[0].ttft
+
+    def test_all_requests_complete(self, disaggregated):
+        report = disaggregated.simulate(burst(4, output=3, gap=1.0))
+        assert len(report.completions) == 4
+        assert all(c.decoded == 3 for c in report.completions)
+
+
+class TestPoissonArrivals:
+    def test_deterministic(self):
+        a = poisson_arrivals(0.5, 10, context_tokens=100, output_tokens=1, seed=3)
+        b = poisson_arrivals(0.5, 10, context_tokens=100, output_tokens=1, seed=3)
+        assert [x.time for x in a] == [x.time for x in b]
+
+    def test_sorted_and_positive(self):
+        arrivals = poisson_arrivals(2.0, 50, context_tokens=10, output_tokens=0)
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 5, context_tokens=10, output_tokens=0)
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            Arrival(request_id=0, time=0.0, context_tokens=0, output_tokens=1)

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_args(self):
+        args = build_parser().parse_args(["plan", "--context", "131072", "--sla", "10"])
+        assert args.context == 131072
+        assert args.sla == 10.0
+
+
+class TestCommands:
+    def test_demo_exits_zero(self, capsys):
+        assert main(["demo", "--world", "2", "--tokens", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "losslessness" in out
+        assert "pass-kv" in out
+
+    def test_heuristic_output(self, capsys):
+        assert main(["heuristic", "--new-tokens", "1280", "--cached", "126720"]) == 0
+        out = capsys.readouterr().out
+        assert "Algorithm 1" in out
+        assert "pass-q" in out
+
+    def test_plan_meets_sla(self, capsys):
+        assert main(["plan", "--context", "131072", "--sla", "60"]) == 0
+        assert "meets SLA" in capsys.readouterr().out
+
+    def test_plan_impossible_sla(self, capsys):
+        assert main(["plan", "--context", "1048576", "--sla", "0.001"]) == 1
+
+    def test_experiments_filtered(self, capsys):
+        assert main(["experiments", "--fast", "--only", "Table 7"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 7" in out
+        assert "Figure 8" not in out
+
+    def test_experiments_markdown(self, capsys):
+        assert main(["experiments", "--fast", "--only", "Table 2", "--markdown"]) == 0
+        assert "### Table 2" in capsys.readouterr().out
+
+    def test_trace_writes_json(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--world", "2", "--tokens", "12", "--output", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert any(e.get("ph") == "X" for e in data["traceEvents"])
+        assert "traced events" in capsys.readouterr().out

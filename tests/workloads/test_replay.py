@@ -1,0 +1,60 @@
+"""Tests for workload replay glue."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ContextParallelEngine
+from repro.model.config import tiny_config
+from repro.model.llama import LlamaModel
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.replay import replay_script_numeric, script_to_arrivals
+
+
+class TestScriptToArrivals:
+    def test_contexts_accumulate(self):
+        gen = WorkloadGenerator(100, seed=1)
+        script = gen.conversation(0, turns=3, first_prompt=50, followup_range=(4, 4),
+                                  response_range=(2, 2))
+        arrivals = script_to_arrivals([script])
+        assert len(arrivals) == 3
+        assert arrivals[0].context_tokens == 50
+        # turn 2 context = 50 + 2 (response) + 4 (new prompt)
+        assert arrivals[1].context_tokens == 56
+        assert arrivals[2].context_tokens == 62
+
+    def test_turn_spacing(self):
+        gen = WorkloadGenerator(100, seed=2)
+        script = gen.conversation(0, turns=2, first_prompt=10)
+        arrivals = script_to_arrivals([script], turn_gap_s=5.0, start_offset_s=1.0)
+        assert arrivals[0].time == pytest.approx(1.0)
+        assert arrivals[1].time == pytest.approx(6.0)
+
+    def test_multiple_conversations_staggered_and_sorted(self):
+        gen = WorkloadGenerator(100, seed=3)
+        scripts = [gen.conversation(i, turns=2, first_prompt=10) for i in range(3)]
+        arrivals = script_to_arrivals(scripts, turn_gap_s=10.0, start_offset_s=1.0)
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+        assert len({a.request_id for a in arrivals}) == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            script_to_arrivals([], turn_gap_s=-1)
+
+
+class TestReplayNumeric:
+    def test_records_and_hit_rates(self):
+        model = LlamaModel(tiny_config(), seed=9)
+        engine = ContextParallelEngine(model, world_size=2)
+        gen = WorkloadGenerator(model.config.vocab_size, seed=4)
+        script = gen.conversation(
+            0, turns=3, first_prompt=60, followup_range=(2, 3), response_range=(1, 2)
+        )
+        records = replay_script_numeric(engine, script)
+        assert len(records) == 3
+        assert records[0]["miss_rate"] == 1.0
+        assert records[1]["miss_rate"] < 0.1
+        assert all(len(r["generated"]) >= 1 for r in records)
+        # engine context equals total prompt + generated tokens
+        total = script.total_prompt_tokens + sum(len(r["generated"]) for r in records)
+        assert engine.context_length(0) == total
