@@ -2,20 +2,36 @@
 
 Times the NumPy substrate itself — the flash kernel, the ring algorithms
 and an end-to-end engine prefill at test scale — so regressions in the
-simulation's own speed are visible.
+simulation's own speed are visible. The ``*_expand_path`` / ``*_no_*skip``
+/ ``*_fp32_compute`` variants pin the before/after of the fused
+grouped-head kernel (PR 1): the expand path re-materializes KV heads per
+block exactly as the seed kernel did, the ``no_skip`` variants disable
+masked-block / masked-shard skipping, and the fp32 variant measures the
+mixed-precision (fp32 compute, fp64 merge) mode.
+
+Run via ``python benchmarks/run_benchmarks.py`` to record the results into
+``BENCH_kernels.json``, or directly::
+
+    PYTHONPATH=src python -m pytest benchmarks --benchmark-only -q
+
+(add ``--smoke`` for the 1-round CI import/run check).
 """
 
 import numpy as np
+import pytest
 
 from repro.attention.flash import flash_attention
 from repro.attention.reference import reference_attention_with_lse
 from repro.core.engine import ContextParallelEngine
+from repro.core.ring_decode import DecodeBatch, ring_passq_decode
 from repro.core.ring_passkv import ring_passkv_prefill
 from repro.core.ring_passq import ring_passq_prefill
 from repro.core.sharding import SequenceSpec, ShardedKV, ShardedQueries, shard_sequences
 from repro.distributed.process_group import SimProcessGroup
 from repro.model.config import tiny_config
 from repro.model.llama import LlamaModel
+
+pytestmark = pytest.mark.perf
 
 T = 256
 RNG = np.random.default_rng(0)
@@ -39,6 +55,21 @@ def bench_flash_attention(benchmark):
     benchmark(flash_attention, Q, K, V, block_size=64)
 
 
+def bench_flash_attention_expand_path(benchmark):
+    """Seed-equivalent baseline: per-block expand_kv_heads + mask recompute."""
+    benchmark(flash_attention, Q, K, V, block_size=64, fused=False)
+
+
+def bench_flash_attention_no_block_skip(benchmark):
+    """Fused kernel with masked-block skipping / row trimming disabled."""
+    benchmark(flash_attention, Q, K, V, block_size=64, skip_masked_blocks=False)
+
+
+def bench_flash_attention_fp32_compute(benchmark):
+    """fp32 kernel arithmetic, fp64 merge accumulation."""
+    benchmark(flash_attention, Q, K, V, block_size=64, compute_dtype=np.float32)
+
+
 def bench_ring_passkv_cp4(benchmark):
     queries, kvs = _shards(4)
 
@@ -48,11 +79,47 @@ def bench_ring_passkv_cp4(benchmark):
     benchmark(run)
 
 
+def bench_ring_passkv_cp4_no_skip(benchmark):
+    queries, kvs = _shards(4)
+
+    def run():
+        return ring_passkv_prefill(
+            SimProcessGroup(4), queries, kvs, block_size=64, skip_masked_shards=False
+        )
+
+    benchmark(run)
+
+
 def bench_ring_passq_cp4(benchmark):
     queries, kvs = _shards(4)
 
     def run():
         return ring_passq_prefill(SimProcessGroup(4), queries, kvs, block_size=64)
+
+    benchmark(run)
+
+
+def bench_ring_decode_cp4(benchmark):
+    """Batched pass-Q decode: 6 sequences' cached KV spread over 4 ranks
+    (B=6, N=4 also pads two query slots — the shard-skip sweet spot)."""
+    world, b = 4, 6
+    seq_all = np.arange(T, dtype=np.int64) % b
+    pos_all = np.arange(T, dtype=np.int64) // b
+    kvs = [
+        ShardedKV(
+            k=K[r::world], v=V[r::world],
+            positions=pos_all[r::world], seq_ids=seq_all[r::world],
+        )
+        for r in range(world)
+    ]
+    batch = DecodeBatch(
+        q=RNG.standard_normal((b, 8, 32)),
+        positions=np.full(b, T // b, dtype=np.int64),
+        seq_ids=np.arange(b, dtype=np.int64),
+    )
+
+    def run():
+        return ring_passq_decode(SimProcessGroup(world), kvs, batch, block_size=64)
 
     benchmark(run)
 

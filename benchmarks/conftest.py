@@ -4,15 +4,41 @@ Run with::
 
     pytest benchmarks/ --benchmark-only
 
-Each ``bench_*`` file regenerates one paper table/figure via
-:mod:`repro.experiments` and times the regeneration with pytest-benchmark.
-The regenerated rows are printed (use ``-s`` to see them inline; they are
-also echoed into the benchmark's ``extra_info``).
+Each ``bench_*`` file either regenerates one paper table/figure via
+:mod:`repro.experiments` or times the numeric substrate itself
+(``bench_numeric_kernels.py``), using pytest-benchmark. The regenerated
+rows are printed (use ``-s`` to see them inline; they are also echoed into
+the benchmark's ``extra_info``).
+
+``--smoke`` caps every benchmark at a single round so CI can import- and
+run-check the benchmark files without paying for statistics
+(``python -m pytest benchmarks --benchmark-only -q --smoke``).
 """
 
 from __future__ import annotations
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run each benchmark for a single round (import/run check only)",
+    )
+
+
+@pytest.hookimpl(tryfirst=True)
+def pytest_configure(config):
+    # Must run before pytest-benchmark's own pytest_configure builds its
+    # session from these options (conftest hooks are called first).
+    if config.getoption("--smoke"):
+        config.option.benchmark_min_rounds = 1
+        config.option.benchmark_max_time = "0.000001"
+        # Post-argparse override: must be the parsed value (bool), not the
+        # CLI string "off", which pytest-benchmark would treat as truthy.
+        config.option.benchmark_warmup = False
 
 
 def emit(benchmark, result) -> None:

@@ -16,6 +16,29 @@ for the reproduction:
 - ``num_kv_splits`` emulates Flash-Decoding's split-KV execution (the paper
   uses 256 splits for decode) by computing independent partials per split
   and merging them, again through the same recurrence.
+
+The default execution path is a *fused grouped-head* kernel: Q is reshaped
+once to ``[NKV, Tq * G, DH]`` (``G = NH / NKV`` query heads per KV head) and
+contracted directly against ``[Tk_blk, NKV, DH]`` KV blocks through batched
+BLAS matmuls, so the per-block ``expand_kv_heads`` copy of the reference
+path never happens. The ``[Tq, Tk]`` permission mask is computed once per
+call and sliced per block; blocks whose mask slice is all-False are skipped
+outright (identity under the online-softmax recurrence), and within a block
+only the contiguous band of query rows with at least one visible key is
+computed — in causal full prefill this trims roughly half the score work.
+
+Knobs:
+
+- ``compute_dtype``: dtype for score/softmax/value arithmetic inside the
+  kernel (default ``float64``). The online-softmax merge accumulators stay
+  ``float64`` regardless, so ``float32`` compute still merges losslessly —
+  the mixed-precision split of Mao et al. (arXiv:2401.08586). The default
+  is bit-compatible with :func:`reference_attention_with_lse`.
+- ``fused``: disable to fall back to the legacy expand-KV path (per-block
+  reference-kernel calls); kept as the A/B baseline for benchmarks and
+  equivalence tests.
+- ``skip_masked_blocks``: disable the all-masked block skip and row
+  trimming (benchmark A/B only; results are identical either way).
 """
 
 from __future__ import annotations
@@ -28,6 +51,9 @@ from repro.attention.gqa import validate_gqa_shapes
 from repro.attention.masks import attention_mask
 from repro.attention.online_softmax import OnlineSoftmaxState
 from repro.attention.reference import reference_attention_with_lse
+
+#: Kernel-internal arithmetic dtype when ``compute_dtype`` is not given.
+DEFAULT_COMPUTE_DTYPE = np.float64
 
 
 @dataclass(frozen=True)
@@ -49,6 +75,16 @@ class AttentionResult:
     def astype(self, dtype) -> "AttentionResult":
         return AttentionResult(self.out.astype(dtype), self.lse.astype(dtype))
 
+    @staticmethod
+    def empty(tokens: int, n_heads: int, head_dim: int) -> "AttentionResult":
+        """Fully-masked result: zero output, ``LSE = -inf`` — the identity
+        element of merge attention. Used by the ring algorithms to stand in
+        for skipped (provably all-masked) partials."""
+        return AttentionResult(
+            out=np.zeros((tokens, n_heads, head_dim), dtype=np.float64),
+            lse=np.full((tokens, n_heads), -np.inf, dtype=np.float64),
+        )
+
 
 def flash_attention(
     q: np.ndarray,
@@ -64,6 +100,9 @@ def flash_attention(
     block_size: int = 128,
     num_kv_splits: int = 1,
     mask_fn=None,
+    compute_dtype=None,
+    fused: bool = True,
+    skip_masked_blocks: bool = True,
 ) -> AttentionResult:
     """Blocked exact GQA attention returning :class:`AttentionResult`.
 
@@ -80,35 +119,207 @@ def flash_attention(
         mask_fn: optional mask override in absolute coordinates (see
             :func:`repro.attention.reference.reference_attention_with_lse`);
             enables windowed/sink attention through the same kernel.
+        compute_dtype: kernel arithmetic dtype (default ``float64``; the
+            merge accumulation is always ``float64``).
+        fused: use the grouped-head fused path (default). ``False`` selects
+            the legacy expand-KV path — slower, kept for A/B comparison.
+        skip_masked_blocks: skip all-masked KV blocks and trim fully-masked
+            query rows (default). Identical results either way.
 
     Returns:
         Exact ``(O, LSE)`` for the full masked attention.
     """
-    tq, tk, nh, _ = validate_gqa_shapes(q, k, v)
+    tq, tk, nh, nkv = validate_gqa_shapes(q, k, v)
+    dh = q.shape[-1]
     if block_size <= 0:
         raise ValueError(f"block_size must be positive, got {block_size}")
     if num_kv_splits <= 0:
         raise ValueError(f"num_kv_splits must be positive, got {num_kv_splits}")
+    if tk == 0 or tq == 0:
+        return AttentionResult.empty(tq, nh, dh)
     if q_pos is None:
         q_pos = np.arange(tq, dtype=np.int64)
     if k_pos is None:
         k_pos = np.arange(tk, dtype=np.int64)
     q_pos = np.asarray(q_pos)
     k_pos = np.asarray(k_pos)
+    if scale is None:
+        scale = 1.0 / np.sqrt(dh)
 
-    if tk == 0 or tq == 0:
-        return AttentionResult(
-            out=np.zeros((tq, nh, q.shape[-1]), dtype=np.float64),
-            lse=np.full((tq, nh), -np.inf, dtype=np.float64),
+    if not fused:
+        return _expand_path(
+            q, k, v, q_pos, k_pos, q_seq, k_seq, causal, scale, block_size,
+            num_kv_splits, mask_fn, tq, nh, dh,
+        )
+
+    # Hoisted out of the block loop: the full [Tq, Tk] permission mask
+    # (sliced per block below) and the grouped-head upcast of Q/K/V.
+    if mask_fn is not None:
+        mask = np.asarray(mask_fn(q_pos, k_pos, q_seq, k_seq), dtype=bool)
+        if mask.shape != (tq, tk):
+            raise ValueError(f"mask_fn returned shape {mask.shape}, expected {(tq, tk)}")
+    else:
+        mask = attention_mask(q_pos, k_pos, q_seq, k_seq, causal=causal)
+
+    dtype = np.dtype(DEFAULT_COMPUTE_DTYPE if compute_dtype is None else compute_dtype)
+    g = nh // nkv
+    # One [Tq * G, DH] row-major matrix per KV head: row t*G + g' is query
+    # head nkv*G + g' of token t. Contracting this against [DH, Tk_blk] is
+    # the "indexing instead of copying" GQA layout — no expand_kv_heads.
+    qg = np.ascontiguousarray(
+        np.asarray(q, dtype=dtype).reshape(tq, nkv, g, dh).transpose(1, 0, 2, 3)
+    ).reshape(nkv, tq * g, dh)
+    kt = np.asarray(k, dtype=dtype).transpose(1, 2, 0)  # [NKV, DH, Tk]
+    vt = np.asarray(v, dtype=dtype).transpose(1, 0, 2)  # [NKV, Tk, DH]
+
+    if num_kv_splits == 1:
+        return _fused_attend_range(
+            qg, kt, vt, mask, scale, block_size, 0, tk, skip_masked_blocks,
+            tq, nkv, g, dh, dtype,
         )
 
     split_edges = np.linspace(0, tk, num_kv_splits + 1, dtype=np.int64)
-    state = OnlineSoftmaxState(out_shape=(tq, nh, q.shape[-1]), lse_shape=(tq, nh))
+    state = OnlineSoftmaxState(out_shape=(tq, nh, dh), lse_shape=(tq, nh))
+    for split in range(num_kv_splits):
+        lo, hi = int(split_edges[split]), int(split_edges[split + 1])
+        partial = _fused_attend_range(
+            qg, kt, vt, mask, scale, block_size, lo, hi, skip_masked_blocks,
+            tq, nkv, g, dh, dtype,
+        )
+        state.update(partial.out, partial.lse)
+    out, lse = state.finalize()
+    return AttentionResult(out=out, lse=lse)
+
+
+def _fused_attend_range(
+    qg: np.ndarray,
+    kt: np.ndarray,
+    vt: np.ndarray,
+    mask: np.ndarray,
+    scale: float,
+    block_size: int,
+    lo: int,
+    hi: int,
+    skip_masked_blocks: bool,
+    tq: int,
+    nkv: int,
+    g: int,
+    dh: int,
+    dtype: np.dtype,
+) -> AttentionResult:
+    """Grouped-head online-softmax sweep over KV storage slice ``[lo, hi)``.
+
+    Maintains the running ``(m, denom, acc)`` recurrence in the grouped
+    ``[NKV, Tq, G, ...]`` layout, folding each block in place over only the
+    visible query-row band; untouched rows receive the exact identity
+    update, so the result is bit-compatible with folding full-height
+    partials through :class:`OnlineSoftmaxState`.
+    """
+    neg_inf = dtype.type(-np.inf)
+    zero = dtype.type(0.0)
+    one = dtype.type(1.0)
+
+    acc = np.zeros((nkv, tq, g, dh), dtype=np.float64)
+    m = np.full((nkv, tq, g), -np.inf, dtype=np.float64)
+    denom = np.zeros((nkv, tq, g), dtype=np.float64)
+
+    for start in range(lo, hi, block_size):
+        stop = min(start + block_size, hi)
+        mblk = mask[:, start:stop]
+        if skip_masked_blocks:
+            visible = mblk.any(axis=1)
+            if not visible.any():
+                continue  # all-masked block: identity under the recurrence
+            r0 = int(np.argmax(visible))
+            r1 = tq - int(np.argmax(visible[::-1]))
+        else:
+            r0, r1 = 0, tq
+        r = r1 - r0
+        s = stop - start
+
+        mb = mblk[r0:r1]
+        fully_visible = bool(mb.all())
+
+        # scores[n, t, g', s] = q[t, n*G+g'] . k[s, n] * scale. The matmul
+        # output is owned by this block, so the masking / softmax chain
+        # below mutates it in place instead of allocating per step.
+        scores = np.matmul(qg[:, r0 * g : r1 * g, :], kt[:, :, start:stop])
+        scores *= scale
+        scores = scores.reshape(nkv, r, g, s)
+        if not fully_visible:
+            np.copyto(scores, neg_inf, where=~mb[None, :, None, :])
+
+        with np.errstate(invalid="ignore"):
+            bm = np.max(scores, axis=-1, keepdims=True)
+            # bm_safe is finite everywhere, so masked scores stay -inf after
+            # the subtraction and exp maps them to exactly +0 — no re-zero
+            # pass is needed.
+            bm_safe = bm if fully_visible else np.where(np.isneginf(bm), zero, bm)
+            scores -= bm_safe
+            p = np.exp(scores, out=scores)
+            bden = p.sum(axis=-1)
+            o = np.matmul(p.reshape(nkv, r * g, s), vt[:, start:stop, :]).reshape(nkv, r, g, dh)
+            if fully_visible:
+                o /= bden[..., None]
+                blse = bm[..., 0] + np.log(bden)
+            else:
+                bden_safe = np.where(bden == 0.0, one, bden)
+                o /= bden_safe[..., None]
+                np.copyto(o, zero, where=(bden == 0.0)[..., None])
+                blse = np.where(bden > 0, bm_safe[..., 0] + np.log(bden_safe), neg_inf)
+
+            # In-place online-softmax fold over the visible row band —
+            # identical math to OnlineSoftmaxState.update.
+            acc_r, m_r, den_r = acc[:, r0:r1], m[:, r0:r1], denom[:, r0:r1]
+            new_m = np.maximum(m_r, blse)
+            safe = np.where(np.isinf(new_m), 0.0, new_m)
+            old_scale = np.exp(m_r - safe)
+            new_scale = np.exp(blse - safe)
+            acc_r *= old_scale[..., None]
+            acc_r += o * new_scale[..., None]
+            den_r *= old_scale
+            den_r += new_scale
+            m_r[...] = new_m
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        den_safe = np.where(denom == 0.0, 1.0, denom)
+        out_g = np.where(denom[..., None] > 0, acc / den_safe[..., None], 0.0)
+        lse_g = np.where(denom > 0, m + np.log(den_safe), -np.inf)
+    out = np.ascontiguousarray(out_g.transpose(1, 0, 2, 3)).reshape(tq, nkv * g, dh)
+    lse = np.ascontiguousarray(lse_g.transpose(1, 0, 2)).reshape(tq, nkv * g)
+    return AttentionResult(out=out, lse=lse)
+
+
+def _expand_path(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    q_pos: np.ndarray,
+    k_pos: np.ndarray,
+    q_seq: np.ndarray | None,
+    k_seq: np.ndarray | None,
+    causal: bool,
+    scale: float,
+    block_size: int,
+    num_kv_splits: int,
+    mask_fn,
+    tq: int,
+    nh: int,
+    dh: int,
+) -> AttentionResult:
+    """Legacy expand-KV execution: per-block reference-kernel calls.
+
+    Re-expands KV heads and recomputes the mask once per block — the exact
+    seed behaviour, kept as the baseline the fused path is benchmarked and
+    equivalence-tested against.
+    """
+    split_edges = np.linspace(0, k.shape[0], num_kv_splits + 1, dtype=np.int64)
+    state = OnlineSoftmaxState(out_shape=(tq, nh, dh), lse_shape=(tq, nh))
     for split in range(num_kv_splits):
         lo, hi = int(split_edges[split]), int(split_edges[split + 1])
         partial = _attend_range(
-            q, k, v, q_pos, k_pos, q_seq, k_seq, causal, scale, block_size, lo, hi,
-            mask_fn,
+            q, k, v, q_pos, k_pos, q_seq, k_seq, causal, scale, block_size,
+            lo, hi, mask_fn,
         )
         state.update(partial.out, partial.lse)
     out, lse = state.finalize()
@@ -130,7 +341,7 @@ def _attend_range(
     hi: int,
     mask_fn=None,
 ) -> AttentionResult:
-    """Online-softmax sweep over KV storage slice ``[lo, hi)``."""
+    """Expand-path online-softmax sweep over KV storage slice ``[lo, hi)``."""
     tq, nh = q.shape[0], q.shape[1]
     state = OnlineSoftmaxState(out_shape=(tq, nh, q.shape[-1]), lse_shape=(tq, nh))
     for start in range(lo, hi, block_size):

@@ -10,11 +10,16 @@ averaging — Equation (4) of the paper:
 
 The accumulator below implements the same recurrence incrementally so a ring
 loop can fold in one partial result per iteration with O(1) extra memory,
-exactly as the production system merges per-ring-step partials.
+exactly as the production system merges per-ring-step partials. All running
+buffers (and the scratch used to stage each fold) are allocated once in the
+constructor; ``update`` works strictly in place, so a ring loop folding N
+partials performs zero per-fold array allocation on the accumulator side.
 
 Empty partials are represented by ``LSE = -inf`` and ``O = 0`` and are
 absorbed as identity elements, which is what a causal shard with no visible
-keys produces.
+keys produces. ``update`` detects this case up front and returns without
+touching the accumulators — the fast path that makes shard-level masked-step
+skipping in the ring algorithms nearly free.
 """
 
 from __future__ import annotations
@@ -32,7 +37,9 @@ class OnlineSoftmaxState:
 
     All arithmetic is done in float64 regardless of input dtype so that the
     "lossless exact" property of the ring algorithms is limited only by the
-    final cast.
+    final cast. Partials computed in a lower precision (e.g. ``float32``
+    kernel compute) are promoted element-wise during the fold, giving the
+    fp32-compute / fp64-merge-accumulate split without extra copies.
     """
 
     def __init__(self, out_shape: tuple[int, ...], lse_shape: tuple[int, ...]):
@@ -41,6 +48,12 @@ class OnlineSoftmaxState:
         self._acc = np.zeros(out_shape, dtype=np.float64)
         self._m = np.full(lse_shape, -np.inf, dtype=np.float64)
         self._denom = np.zeros(lse_shape, dtype=np.float64)
+        # Scratch reused by every update(): one out-shaped staging buffer for
+        # the scaled incoming partial plus three lse-shaped work arrays.
+        self._scaled_out = np.empty(out_shape, dtype=np.float64)
+        self._new_m = np.empty(lse_shape, dtype=np.float64)
+        self._old_scale = np.empty(lse_shape, dtype=np.float64)
+        self._new_scale = np.empty(lse_shape, dtype=np.float64)
 
     @property
     def max_lse(self) -> np.ndarray:
@@ -48,27 +61,39 @@ class OnlineSoftmaxState:
         return self._m
 
     def update(self, partial_out: np.ndarray, partial_lse: np.ndarray) -> None:
-        """Fold one partial attention result into the state.
+        """Fold one partial attention result into the state, in place.
 
         Args:
             partial_out: ``[..., DH]`` partial output ``O_s``.
             partial_lse: ``[...]`` log-sum-exp of the partial scores.
         """
-        partial_out = np.asarray(partial_out, dtype=np.float64)
-        partial_lse = np.asarray(partial_lse, dtype=np.float64)
+        partial_out = np.asarray(partial_out)
+        partial_lse = np.asarray(partial_lse)
         if partial_out.shape != self._acc.shape:
             raise ValueError(f"partial out shape {partial_out.shape} != {self._acc.shape}")
         if partial_lse.shape != self._m.shape:
             raise ValueError(f"partial lse shape {partial_lse.shape} != {self._m.shape}")
 
-        new_m = np.maximum(self._m, partial_lse)
-        # Identity when both sides are empty (-inf): keep zeros.
+        # Fast path: an empty partial (all LSE = -inf, e.g. a fully-masked
+        # causal shard) is the identity element of the recurrence.
+        if np.all(np.isneginf(partial_lse)):
+            return
+
+        new_m = np.maximum(self._m, partial_lse, out=self._new_m)
+        # Identity when both sides are empty (-inf): keep zeros. ``safe_m``
+        # is always finite, so ``x - safe_m`` is -inf exactly when x is.
         safe_m = np.where(np.isinf(new_m), 0.0, new_m)
-        old_scale = np.exp(np.where(np.isneginf(self._m), -np.inf, self._m - safe_m))
-        new_scale = np.exp(np.where(np.isneginf(partial_lse), -np.inf, partial_lse - safe_m))
-        self._acc = self._acc * old_scale[..., None] + partial_out * new_scale[..., None]
-        self._denom = self._denom * old_scale + new_scale
-        self._m = new_m
+        np.subtract(self._m, safe_m, out=self._old_scale)
+        np.exp(self._old_scale, out=self._old_scale)
+        np.subtract(partial_lse, safe_m, out=self._new_scale)
+        np.exp(self._new_scale, out=self._new_scale)
+        self._acc *= self._old_scale[..., None]
+        np.multiply(partial_out, self._new_scale[..., None], out=self._scaled_out)
+        self._acc += self._scaled_out
+        self._denom *= self._old_scale
+        self._denom += self._new_scale
+        # new_m lives in the _new_m scratch; swap it in rather than copying.
+        self._m, self._new_m = self._new_m, self._m
 
     def finalize(self) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(O, LSE)`` for the union of all folded partials.

@@ -78,8 +78,10 @@ def reference_attention_with_lse(
     kf = expand_kv_heads(np.asarray(k, dtype=np.float64), nh)
     vf = expand_kv_heads(np.asarray(v, dtype=np.float64), nh)
 
-    # scores[t, h, s] = q[t, h] . k[s, h] * scale
-    scores = np.einsum("thd,shd->ths", qf, kf) * scale
+    # scores[t, h, s] = q[t, h] . k[s, h] * scale — head-batched BLAS matmul
+    # (an order of magnitude faster than the equivalent einsum, and the
+    # contraction the blocked fused kernel must stay bit-compatible with).
+    scores = np.matmul(qf.transpose(1, 0, 2), kf.transpose(1, 2, 0)).transpose(1, 0, 2) * scale
     scores = np.where(mask[:, None, :], scores, -np.inf)
 
     with np.errstate(invalid="ignore"):
@@ -89,7 +91,7 @@ def reference_attention_with_lse(
         p = np.where(mask[:, None, :], p, 0.0)
         denom = p.sum(axis=-1)
         lse = np.where(denom > 0, m_safe[..., 0] + np.log(np.where(denom == 0, 1.0, denom)), -np.inf)
-        out = np.einsum("ths,shd->thd", p, vf)
+        out = np.matmul(p.transpose(1, 0, 2), vf.transpose(1, 0, 2)).transpose(1, 0, 2)
         out = np.where(denom[..., None] > 0, out / np.where(denom == 0, 1.0, denom)[..., None], 0.0)
     return out, lse
 

@@ -82,6 +82,11 @@ class ContextParallelEngine:
         block_size: local flash kernel block size.
         quantized_kv_cache: store KV int8-quantized (2x capacity, slightly
             lossy logits; see :mod:`repro.kvcache.quantized`).
+        compute_dtype: attention-kernel arithmetic dtype threaded through
+            every ring algorithm (default ``None`` = exact float64). The
+            online-softmax merge accumulation stays float64 regardless, so
+            e.g. ``np.float32`` trades last-ulp exactness of the logits for
+            kernel speed while keeping the merge recurrence lossless.
     """
 
     def __init__(
@@ -95,6 +100,7 @@ class ContextParallelEngine:
         capacity_tokens: int | None = None,
         block_size: int = 128,
         quantized_kv_cache: bool = False,
+        compute_dtype=None,
     ):
         self.model = model
         self.world_size = world_size
@@ -102,6 +108,7 @@ class ContextParallelEngine:
         self.group = SimProcessGroup(world_size, topology=topology, tracer=self.tracer)
         self.planner = PrefillPlanner(heuristic, selector=selector)
         self.block_size = block_size
+        self.compute_dtype = compute_dtype
         cfg = model.config
         self.caches = [
             RankKVCache(
@@ -180,11 +187,13 @@ class ContextParallelEngine:
             kv_shards = [self.caches[rank].get(layer, batch_sids) for rank in range(self.world_size)]
             if plan.algo is RingAlgo.PASS_KV:
                 results = ring_passkv_prefill(
-                    self.group, queries, kv_shards, block_size=self.block_size
+                    self.group, queries, kv_shards, block_size=self.block_size,
+                    compute_dtype=self.compute_dtype,
                 )
             else:
                 results = ring_passq_prefill(
-                    self.group, queries, kv_shards, block_size=self.block_size
+                    self.group, queries, kv_shards, block_size=self.block_size,
+                    compute_dtype=self.compute_dtype,
                 )
             for rank in range(self.world_size):
                 xs[rank] = self.model.attn_residual(layer, xs[rank], results[rank].out)
@@ -296,7 +305,7 @@ class ContextParallelEngine:
             batch = DecodeBatch(q=q_batch, positions=positions, seq_ids=seq_arr)
             result, _ = ring_passq_decode(
                 self.group, kv_shards, batch, step=self.decode_steps,
-                block_size=self.block_size,
+                block_size=self.block_size, compute_dtype=self.compute_dtype,
             )
             for rank, slots in enumerate(rank_slots):
                 if slots.size == 0:

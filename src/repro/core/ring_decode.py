@@ -24,6 +24,7 @@ import numpy as np
 from repro.attention.flash import AttentionResult, flash_attention
 from repro.attention.masks import PAD_SEQ
 from repro.core.merge import merge_partials
+from repro.core.ring_skip import kv_reach, partial_fully_masked, query_reach
 from repro.core.sharding import ShardedKV, ShardedQueries
 from repro.distributed.process_group import SimProcessGroup
 from repro.distributed.ring import source_rank_at_step
@@ -83,6 +84,8 @@ def ring_passq_decode(
     block_size: int = 128,
     num_kv_splits: int = 1,
     mask_fn=None,
+    compute_dtype=None,
+    skip_masked_shards: bool = True,
 ) -> tuple[AttentionResult, np.ndarray]:
     """Batched ring pass-Q decode (Algorithm 4).
 
@@ -102,6 +105,13 @@ def ring_passq_decode(
         mask_fn: optional absolute-coordinate mask override — e.g. a
             windowed/sink mask for StreamingLLM-style decode; composes with
             the ring because masks never depend on storage order.
+        compute_dtype: kernel arithmetic dtype forwarded to the local flash
+            kernel (merge accumulation stays float64; default exact fp64).
+        skip_masked_shards: replace provably all-masked ring-step partials
+            with the exact identity element instead of calling the kernel —
+            in decode this mostly fires for all-pad query payloads (when
+            ``B`` is not a multiple of ``N``) and for empty or unrelated
+            KV shards. Disabled under ``mask_fn``.
 
     Returns:
         ``(result, assignment)``: ``result`` holds the exact attention
@@ -134,10 +144,21 @@ def ring_passq_decode(
 
     traveling = list(local)
     computed: list[dict[int, AttentionResult]] = [dict() for _ in range(n)]
+
+    # Causal-reach summaries, one scan per shard (local[s] is the payload
+    # originating at rank s; the ring schedule recovers the origin later).
+    skip = skip_masked_shards and mask_fn is None
+    if skip:
+        q_summary = [query_reach(p["pos"], p["seq"]) for p in local]
+        k_summary = [kv_reach(kv.positions, kv.seq_ids) for kv in kv_shards]
+
     for j in range(n):
         for rank in range(n):
             src = source_rank_at_step(rank, j, n)
             q = traveling[rank]
+            if skip and partial_fully_masked(q_summary[src], k_summary[rank]):
+                computed[rank][src] = AttentionResult.empty(per_rank, nh, dh)
+                continue
             kv = kv_shards[rank]
             computed[rank][src] = flash_attention(
                 q["q"],
@@ -152,6 +173,7 @@ def ring_passq_decode(
                 block_size=block_size,
                 num_kv_splits=num_kv_splits,
                 mask_fn=mask_fn,
+                compute_dtype=compute_dtype,
             )
         if j < n - 1:
             traveling = group.ring_shift(traveling, step=j, tag="decode-passq")

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.attention.flash import AttentionResult, flash_attention
 from repro.core.merge import merge_partials
+from repro.core.ring_skip import kv_reach, partial_fully_masked, query_reach
 from repro.core.sharding import ShardedKV, ShardedQueries, pad_kv_shards
 from repro.distributed.process_group import SimProcessGroup
 from repro.distributed.ring import source_rank_at_step
@@ -35,6 +36,8 @@ def ring_passkv_prefill(
     block_size: int = 128,
     pad_messages: bool = True,
     mask_fn=None,
+    compute_dtype=None,
+    skip_masked_shards: bool = True,
 ) -> list[AttentionResult]:
     """Fused varseq ring pass-KV prefill (Algorithm 2).
 
@@ -53,6 +56,14 @@ def ring_passkv_prefill(
         mask_fn: optional absolute-coordinate mask override (windowed /
             sink attention); exactness is preserved because masks never
             depend on storage order.
+        compute_dtype: kernel arithmetic dtype forwarded to the local flash
+            kernel (merge accumulation stays float64; default exact fp64).
+        skip_masked_shards: skip ring-step partials whose causal mask is
+            provably all-False (see :mod:`repro.core.ring_skip`) — the
+            skipped partial is replaced by the exact identity element, so
+            output is unchanged. Disabled automatically under ``mask_fn``,
+            which *replaces* the causal predicate (it may be non-causal),
+            invalidating the reach test.
 
     Returns:
         Per-rank exact :class:`AttentionResult` for each rank's queries, in
@@ -70,27 +81,43 @@ def ring_passkv_prefill(
     else:
         blocks = list(kv_shards)
 
+    # Causal-reach summaries, computed once per shard. blocks[r] at step 0
+    # originated at rank r, so k_summary is indexed by origin rank and the
+    # ring schedule (source_rank_at_step) recovers which summary applies to
+    # the payload a rank holds at any later step.
+    skip = skip_masked_shards and mask_fn is None
+    if skip:
+        q_summary = [query_reach(qr.positions, qr.seq_ids) for qr in queries]
+        k_summary = [kv_reach(blk.positions, blk.seq_ids) for blk in blocks]
+
     partials: list[list[AttentionResult]] = [[] for _ in range(n)]
     for step in range(n):
         for rank in range(n):
             src = source_rank_at_step(rank, step, n)
-            blk = blocks[rank]
-            partials[rank].append(
-                flash_attention(
-                    queries[rank].q,
-                    blk.k,
-                    blk.v,
-                    q_pos=queries[rank].positions,
-                    k_pos=blk.positions,
-                    q_seq=queries[rank].seq_ids,
-                    k_seq=blk.seq_ids,
-                    causal=True,
-                    scale=scale,
-                    block_size=block_size,
-                    mask_fn=mask_fn,
+            if skip and partial_fully_masked(q_summary[rank], k_summary[src]):
+                # Provably all-masked partial: append the identity element
+                # without touching the kernel (in causal full prefill this
+                # skips roughly half of all rank x step partials).
+                tq, nh, dh = queries[rank].q.shape
+                partials[rank].append(AttentionResult.empty(tq, nh, dh))
+            else:
+                blk = blocks[rank]
+                partials[rank].append(
+                    flash_attention(
+                        queries[rank].q,
+                        blk.k,
+                        blk.v,
+                        q_pos=queries[rank].positions,
+                        k_pos=blk.positions,
+                        q_seq=queries[rank].seq_ids,
+                        k_seq=blk.seq_ids,
+                        causal=True,
+                        scale=scale,
+                        block_size=block_size,
+                        mask_fn=mask_fn,
+                        compute_dtype=compute_dtype,
+                    )
                 )
-            )
-            del src  # origin tracked implicitly; partials merge symmetrically
         if step < n - 1:
             blocks = group.ring_shift(blocks, step=step, tag="passkv")
 

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.attention.flash import AttentionResult, flash_attention
 from repro.core.merge import merge_partials
+from repro.core.ring_skip import kv_reach, partial_fully_masked, query_reach
 from repro.core.sharding import ShardedKV, ShardedQueries, pad_query_shards
 from repro.distributed.process_group import SimProcessGroup
 from repro.distributed.ring import source_rank_at_step
@@ -32,6 +33,8 @@ def ring_passq_prefill(
     scale: float | None = None,
     block_size: int = 128,
     mask_fn=None,
+    compute_dtype=None,
+    skip_masked_shards: bool = True,
 ) -> list[AttentionResult]:
     """Fused varseq ring pass-Q prefill (Algorithm 3).
 
@@ -45,6 +48,11 @@ def ring_passq_prefill(
         block_size: KV block size of the local flash kernel.
         mask_fn: optional absolute-coordinate mask override (windowed /
             sink attention).
+        compute_dtype: kernel arithmetic dtype forwarded to the local flash
+            kernel (merge accumulation stays float64; default exact fp64).
+        skip_masked_shards: replace provably all-masked ring-step partials
+            with the exact identity element instead of calling the kernel
+            (see :mod:`repro.core.ring_skip`); disabled under ``mask_fn``.
 
     Returns:
         Per-rank exact :class:`AttentionResult`, trimmed back to each rank's
@@ -65,10 +73,23 @@ def ring_passq_prefill(
     # computed[k][s] = partial result rank k computed for origin rank s.
     computed: list[dict[int, AttentionResult]] = [dict() for _ in range(n)]
 
+    # Causal-reach summaries, one scan per shard: padded[s] is the query
+    # payload originating at rank s (the ring schedule maps the payload a
+    # rank holds at step j back to its origin), KV shards never move.
+    skip = skip_masked_shards and mask_fn is None
+    if skip:
+        q_summary = [query_reach(p.positions, p.seq_ids) for p in padded]
+        k_summary = [kv_reach(kv.positions, kv.seq_ids) for kv in kv_shards]
+
     for step in range(n):
         for rank in range(n):
             src = source_rank_at_step(rank, step, n)
             q = traveling[rank]
+            if skip and partial_fully_masked(q_summary[src], k_summary[rank]):
+                computed[rank][src] = AttentionResult.empty(
+                    len(q), q.q.shape[1], q.q.shape[2]
+                )
+                continue
             kv = kv_shards[rank]
             computed[rank][src] = flash_attention(
                 q.q,
@@ -82,6 +103,7 @@ def ring_passq_prefill(
                 scale=scale,
                 block_size=block_size,
                 mask_fn=mask_fn,
+                compute_dtype=compute_dtype,
             )
         if step < n - 1:
             traveling = group.ring_shift(traveling, step=step, tag="passq")

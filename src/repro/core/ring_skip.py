@@ -1,0 +1,102 @@
+"""Shard-level causal skip predicate for the ring hot path.
+
+At every ring step each rank computes a *partial* attention between its
+resident queries and one origin rank's payload. Under the causal mask a
+large fraction of those partials are provably all-masked — every key in the
+shard sits strictly after every query of the same sequence, or the payload
+is pure padding (``PAD_SEQ``). Computing such a partial produces exactly the
+identity element of merge attention (``O = 0``, ``LSE = -inf``), so the ring
+algorithms can skip the kernel call outright and append
+:meth:`repro.attention.flash.AttentionResult.empty` instead, bit-for-bit
+unchanged output.
+
+The predicate only needs two per-shard summaries, each computed **once**
+before the ring starts (the origin metadata travels implicitly with the
+ring schedule — ``source_rank_at_step`` says whose summary applies):
+
+- queries: ``{seq_id: max position}`` over non-pad tokens,
+- keys:    ``{seq_id: min position}`` over non-pad tokens.
+
+A partial is visible iff some sequence id appears on both sides with
+``min(k_pos) <= max(q_pos)``. This is exact for the default causal mask; a
+custom ``mask_fn`` can only *remove* visibility, so callers with a mask
+override either skip conservatively (never) or evaluate the mask — the ring
+algorithms take the conservative route.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention.masks import PAD_SEQ
+
+
+def query_reach(positions: np.ndarray, seq_ids: np.ndarray | None) -> dict[int, int]:
+    """Per-sequence maximum query position over non-pad tokens.
+
+    Args:
+        positions: ``[T]`` absolute positions.
+        seq_ids: ``[T]`` sequence ids (``None`` = all sequence 0).
+
+    Returns:
+        ``{seq_id: max position}``; empty for an all-pad (or empty) shard.
+    """
+    return _reach(positions, seq_ids, np.maximum)
+
+
+def kv_reach(positions: np.ndarray, seq_ids: np.ndarray | None) -> dict[int, int]:
+    """Per-sequence minimum key position over non-pad tokens (see above)."""
+    return _reach(positions, seq_ids, np.minimum)
+
+
+def _reach(positions: np.ndarray, seq_ids: np.ndarray | None, op) -> dict[int, int]:
+    positions = np.asarray(positions)
+    if positions.size == 0:
+        return {}
+    if seq_ids is None:
+        seq_ids = np.zeros(positions.shape[0], dtype=np.int64)
+    seq_ids = np.asarray(seq_ids)
+    out: dict[int, int] = {}
+    for sid in np.unique(seq_ids):
+        if sid == PAD_SEQ:
+            continue
+        extreme = op.reduce(positions[seq_ids == sid])
+        out[int(sid)] = int(extreme)
+    return out
+
+
+def partial_fully_masked(q_reach: dict[int, int], k_reach: dict[int, int]) -> bool:
+    """True iff the causal mask between the summarised shards is all-False.
+
+    Args:
+        q_reach: output of :func:`query_reach` for the query shard.
+        k_reach: output of :func:`kv_reach` for the key shard.
+    """
+    for sid, q_max in q_reach.items():
+        k_min = k_reach.get(sid)
+        if k_min is not None and k_min <= q_max:
+            return False
+    return True
+
+
+def shard_fully_masked(
+    q_pos: np.ndarray,
+    k_pos: np.ndarray,
+    q_seq: np.ndarray | None = None,
+    k_seq: np.ndarray | None = None,
+    *,
+    causal: bool = True,
+) -> bool:
+    """O(Tq + Tk) test that ``attention_mask(...)`` would be all-False.
+
+    Convenience wrapper combining :func:`query_reach`, :func:`kv_reach`
+    and :func:`partial_fully_masked` for one-off (non-ring) callers; the
+    ring algorithms precompute the two summaries instead so each shard is
+    scanned once, not once per ring step.
+    """
+    q = query_reach(q_pos, q_seq)
+    k = kv_reach(k_pos, k_seq)
+    if not causal:
+        # Any shared non-pad sequence id means at least one visible pair.
+        return all(sid not in k for sid in q)
+    return partial_fully_masked(q, k)

@@ -1,0 +1,77 @@
+"""Tests for the shard-level causal skip predicate (ring hot path)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attention.masks import PAD_SEQ, attention_mask
+from repro.core.ring_skip import (
+    kv_reach,
+    partial_fully_masked,
+    query_reach,
+    shard_fully_masked,
+)
+
+SETTINGS = dict(max_examples=50, deadline=None)
+
+
+class TestReachSummaries:
+    def test_query_reach_per_sequence_max(self):
+        pos = np.array([3, 9, 1, 7])
+        seq = np.array([0, 0, 1, 1])
+        assert query_reach(pos, seq) == {0: 9, 1: 7}
+
+    def test_kv_reach_per_sequence_min(self):
+        pos = np.array([3, 9, 1, 7])
+        seq = np.array([0, 0, 1, 1])
+        assert kv_reach(pos, seq) == {0: 3, 1: 1}
+
+    def test_none_seq_ids_default_to_sequence_zero(self):
+        assert query_reach(np.array([4, 2]), None) == {0: 4}
+        assert kv_reach(np.array([4, 2]), None) == {0: 2}
+
+    def test_pad_tokens_are_ignored(self):
+        pos = np.array([5, 100, 2])
+        seq = np.array([0, PAD_SEQ, 0])
+        assert query_reach(pos, seq) == {0: 5}
+        assert kv_reach(pos, seq) == {0: 2}
+
+    def test_empty_and_all_pad_shards(self):
+        assert query_reach(np.zeros(0, dtype=np.int64), None) == {}
+        assert kv_reach(np.array([1, 2]), np.full(2, PAD_SEQ)) == {}
+
+
+class TestPartialFullyMasked:
+    def test_visible_when_key_precedes_query(self):
+        assert not partial_fully_masked({0: 5}, {0: 5})
+        assert not partial_fully_masked({0: 5}, {0: 0})
+
+    def test_masked_when_all_keys_after_queries(self):
+        assert partial_fully_masked({0: 5}, {0: 6})
+
+    def test_masked_when_no_shared_sequence(self):
+        assert partial_fully_masked({0: 5}, {1: 0})
+        assert partial_fully_masked({}, {0: 0})
+        assert partial_fully_masked({0: 5}, {})
+
+
+class TestShardFullyMaskedProperty:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        tq=st.integers(0, 12),
+        tk=st.integers(0, 12),
+        causal=st.booleans(),
+    )
+    @settings(**SETTINGS)
+    def test_matches_materialized_mask(self, seed, tq, tk, causal):
+        """The O(T) predicate agrees with ``not attention_mask(...).any()``
+        for arbitrary (position, sequence, PAD) layouts."""
+        rng = np.random.default_rng(seed)
+        q_pos = rng.integers(0, 8, tq)
+        k_pos = rng.integers(0, 8, tk)
+        q_seq = rng.integers(PAD_SEQ, 2, tq)
+        k_seq = rng.integers(PAD_SEQ, 2, tk)
+        predicted = shard_fully_masked(q_pos, k_pos, q_seq, k_seq, causal=causal)
+        actual = not attention_mask(q_pos, k_pos, q_seq, k_seq, causal=causal).any()
+        assert predicted == actual

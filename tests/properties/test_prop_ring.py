@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.attention.reference import reference_attention_with_lse
+from repro.core.ring_decode import DecodeBatch, ring_passq_decode
 from repro.core.ring_passkv import ring_passkv_prefill
 from repro.core.ring_passq import ring_passq_prefill
 from repro.core.sharding import SequenceSpec, ShardedKV, ShardedQueries, shard_sequences
@@ -82,3 +83,56 @@ class TestRingLosslessness:
         for ra, rb in zip(a, b):
             np.testing.assert_allclose(ra.out, rb.out, atol=1e-9)
             np.testing.assert_allclose(ra.lse, rb.lse, atol=1e-9)
+
+
+class TestShardSkipIsPureExecutionStrategy:
+    """Skipping provably all-masked ring-step partials substitutes the exact
+    merge identity element, so outputs are bitwise unchanged."""
+
+    @given(varseq_case())
+    @settings(**SETTINGS)
+    def test_passkv_skip_on_off_identical(self, case):
+        world, per_seq = case
+        queries, kvs = build_shards(world, per_seq)
+        a = ring_passkv_prefill(SimProcessGroup(world), queries, kvs)
+        b = ring_passkv_prefill(
+            SimProcessGroup(world), queries, kvs, skip_masked_shards=False
+        )
+        for ra, rb in zip(a, b):
+            assert np.array_equal(ra.out, rb.out)
+            assert np.array_equal(ra.lse, rb.lse)
+
+    @given(varseq_case())
+    @settings(**SETTINGS)
+    def test_passq_skip_on_off_identical(self, case):
+        world, per_seq = case
+        queries, kvs = build_shards(world, per_seq)
+        a = ring_passq_prefill(SimProcessGroup(world), queries, kvs)
+        b = ring_passq_prefill(
+            SimProcessGroup(world), queries, kvs, skip_masked_shards=False
+        )
+        for ra, rb in zip(a, b):
+            assert np.array_equal(ra.out, rb.out)
+            assert np.array_equal(ra.lse, rb.lse)
+
+    @given(varseq_case(), st.integers(0, 5))
+    @settings(**SETTINGS)
+    def test_decode_skip_on_off_identical(self, case, step):
+        """Decode's skip branch (all-pad payloads when B % N != 0, plus
+        unrelated/empty shards) substitutes identity partials exactly."""
+        world, per_seq = case
+        _, kvs = build_shards(world, per_seq)
+        rng = np.random.default_rng(step)
+        sids = sorted(per_seq)
+        batch = DecodeBatch(
+            q=rng.standard_normal((len(sids), 4, 8)),
+            positions=np.array([per_seq[s][0].shape[0] - 1 for s in sids]),
+            seq_ids=np.array(sids, dtype=np.int64),
+        )
+        a, assign_a = ring_passq_decode(SimProcessGroup(world), kvs, batch, step=step)
+        b, assign_b = ring_passq_decode(
+            SimProcessGroup(world), kvs, batch, step=step, skip_masked_shards=False
+        )
+        assert np.array_equal(assign_a, assign_b)
+        assert np.array_equal(a.out, b.out)
+        assert np.array_equal(a.lse, b.lse)
