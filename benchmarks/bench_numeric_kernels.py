@@ -1,13 +1,14 @@
 """Numeric-kernel microbenchmarks (simulator performance, not paper claims).
 
-Times the NumPy substrate itself — the flash kernel, the ring algorithms
-and an end-to-end engine prefill at test scale — so regressions in the
-simulation's own speed are visible. The ``*_expand_path`` / ``*_no_*skip``
-/ ``*_fp32_compute`` variants pin the before/after of the fused
-grouped-head kernel (PR 1): the expand path re-materializes KV heads per
-block exactly as the seed kernel did, the ``no_skip`` variants disable
+Times the NumPy substrate itself — the flash kernel, the ring algorithms,
+an end-to-end engine prefill and a continuous-batching runtime replay at
+test scale — so regressions in the simulation's own speed are visible.
+The ``*_no_*skip`` / ``*_fp32_compute`` variants pin the A/B knobs of the
+fused grouped-head kernel (PR 1): the ``no_skip`` variants disable
 masked-block / masked-shard skipping, and the fp32 variant measures the
-mixed-precision (fp32 compute, fp64 merge) mode.
+mixed-precision (fp32 compute, fp64 merge) mode. (The seed-equivalent
+``fused=False`` expand-path baseline was retired with the path itself;
+its seed timing survives in ``run_benchmarks.py``'s baseline table.)
 
 Run via ``python benchmarks/run_benchmarks.py`` to record the results into
 ``BENCH_kernels.json``, or directly::
@@ -53,11 +54,6 @@ def bench_reference_attention(benchmark):
 
 def bench_flash_attention(benchmark):
     benchmark(flash_attention, Q, K, V, block_size=64)
-
-
-def bench_flash_attention_expand_path(benchmark):
-    """Seed-equivalent baseline: per-block expand_kv_heads + mask recompute."""
-    benchmark(flash_attention, Q, K, V, block_size=64, fused=False)
 
 
 def bench_flash_attention_no_block_skip(benchmark):
@@ -133,3 +129,43 @@ def bench_engine_prefill_cp2(benchmark):
         return engine.prefill({0: toks})
 
     benchmark(run)
+
+
+def bench_runtime_throughput(benchmark):
+    """Tokens/s through the continuous-batching runtime on a replayed
+    4-session x 2-turn trace (chunked prefill + batched decode, CP2).
+
+    ``extra_info['tokens_per_wall_second']`` records decoded tokens per
+    *wall* second — the serving runtime's end-to-end throughput figure."""
+    from repro.runtime import ContinuousBatchingRuntime
+    from repro.serving.scheduler import ChunkedPrefillPolicy
+    from repro.workloads.generator import WorkloadGenerator
+    from repro.workloads.replay import submit_scripts_to_runtime
+
+    model = LlamaModel(tiny_config(), seed=0)
+    gen = WorkloadGenerator(model.config.vocab_size, seed=3)
+    scripts = [
+        gen.conversation(
+            sid, turns=2, first_prompt=40, followup_range=(6, 12), response_range=(3, 5)
+        )
+        for sid in range(4)
+    ]
+
+    def run():
+        runtime = ContinuousBatchingRuntime(
+            ContextParallelEngine(model, world_size=2),
+            policy=ChunkedPrefillPolicy(
+                chunk_tokens=16, max_tokens_per_round=32, max_seqs_per_round=4
+            ),
+        )
+        submit_scripts_to_runtime(runtime, scripts, think_time_s=2.0)
+        return runtime.run(max_steps=100_000)
+
+    report = benchmark(run)
+    wall = benchmark.stats.stats.mean if benchmark.stats else None
+    if wall:
+        benchmark.extra_info["tokens_per_wall_second"] = round(
+            report.generated_tokens / wall, 1
+        )
+    benchmark.extra_info["generated_tokens"] = report.generated_tokens
+    benchmark.extra_info["preemptions"] = report.metrics.preemptions

@@ -54,7 +54,16 @@ from repro.model.config import (
 from repro.model.llama import LlamaModel
 from repro.perf.hardware import gti_host, gtt_host
 from repro.perf.latency import LatencySimulator
+from repro.runtime import (
+    ContinuousBatchingRuntime,
+    RequestState,
+    RuntimeReport,
+    SimulatedStepClock,
+    TurnRequest,
+    UnitStepClock,
+)
 from repro.serving.disaggregated import DisaggregatedSimulator
+from repro.serving.scheduler import ChunkedPrefillPolicy
 from repro.serving.session import ChatSession
 from repro.serving.simulator import ClusterServingSimulator, poisson_arrivals
 from repro.testing import assert_lossless_conversation, assert_lossless_prefill
@@ -62,9 +71,16 @@ from repro.version import __version__
 
 __all__ = [
     "ChatSession",
+    "ChunkedPrefillPolicy",
     "ClusterServingSimulator",
     "ContextParallelEngine",
+    "ContinuousBatchingRuntime",
     "DisaggregatedSimulator",
+    "RequestState",
+    "RuntimeReport",
+    "SimulatedStepClock",
+    "TurnRequest",
+    "UnitStepClock",
     "assert_lossless_conversation",
     "assert_lossless_prefill",
     "poisson_arrivals",

@@ -17,15 +17,18 @@ for the reproduction:
   uses 256 splits for decode) by computing independent partials per split
   and merging them, again through the same recurrence.
 
-The default execution path is a *fused grouped-head* kernel: Q is reshaped
-once to ``[NKV, Tq * G, DH]`` (``G = NH / NKV`` query heads per KV head) and
+The kernel is a *fused grouped-head* implementation: Q is reshaped once to
+``[NKV, Tq * G, DH]`` (``G = NH / NKV`` query heads per KV head) and
 contracted directly against ``[Tk_blk, NKV, DH]`` KV blocks through batched
-BLAS matmuls, so the per-block ``expand_kv_heads`` copy of the reference
-path never happens. The ``[Tq, Tk]`` permission mask is computed once per
-call and sliced per block; blocks whose mask slice is all-False are skipped
-outright (identity under the online-softmax recurrence), and within a block
-only the contiguous band of query rows with at least one visible key is
-computed — in causal full prefill this trims roughly half the score work.
+BLAS matmuls, so no per-block ``expand_kv_heads`` copy is ever
+materialized (the legacy ``fused=False`` expand path was retired once the
+fused kernel's equivalence was pinned; :mod:`repro.attention.reference`
+remains the independent full-materialization oracle). The ``[Tq, Tk]``
+permission mask is computed once per call and sliced per block; blocks
+whose mask slice is all-False are skipped outright (identity under the
+online-softmax recurrence), and within a block only the contiguous band of
+query rows with at least one visible key is computed — in causal full
+prefill this trims roughly half the score work.
 
 Knobs:
 
@@ -34,9 +37,6 @@ Knobs:
   ``float64`` regardless, so ``float32`` compute still merges losslessly —
   the mixed-precision split of Mao et al. (arXiv:2401.08586). The default
   is bit-compatible with :func:`reference_attention_with_lse`.
-- ``fused``: disable to fall back to the legacy expand-KV path (per-block
-  reference-kernel calls); kept as the A/B baseline for benchmarks and
-  equivalence tests.
 - ``skip_masked_blocks``: disable the all-masked block skip and row
   trimming (benchmark A/B only; results are identical either way).
 """
@@ -50,7 +50,6 @@ import numpy as np
 from repro.attention.gqa import validate_gqa_shapes
 from repro.attention.masks import attention_mask
 from repro.attention.online_softmax import OnlineSoftmaxState
-from repro.attention.reference import reference_attention_with_lse
 
 #: Kernel-internal arithmetic dtype when ``compute_dtype`` is not given.
 DEFAULT_COMPUTE_DTYPE = np.float64
@@ -101,7 +100,6 @@ def flash_attention(
     num_kv_splits: int = 1,
     mask_fn=None,
     compute_dtype=None,
-    fused: bool = True,
     skip_masked_blocks: bool = True,
 ) -> AttentionResult:
     """Blocked exact GQA attention returning :class:`AttentionResult`.
@@ -121,8 +119,6 @@ def flash_attention(
             enables windowed/sink attention through the same kernel.
         compute_dtype: kernel arithmetic dtype (default ``float64``; the
             merge accumulation is always ``float64``).
-        fused: use the grouped-head fused path (default). ``False`` selects
-            the legacy expand-KV path — slower, kept for A/B comparison.
         skip_masked_blocks: skip all-masked KV blocks and trim fully-masked
             query rows (default). Identical results either way.
 
@@ -145,12 +141,6 @@ def flash_attention(
     k_pos = np.asarray(k_pos)
     if scale is None:
         scale = 1.0 / np.sqrt(dh)
-
-    if not fused:
-        return _expand_path(
-            q, k, v, q_pos, k_pos, q_seq, k_seq, causal, scale, block_size,
-            num_kv_splits, mask_fn, tq, nh, dh,
-        )
 
     # Hoisted out of the block loop: the full [Tq, Tk] permission mask
     # (sliced per block below) and the grouped-head upcast of Q/K/V.
@@ -287,78 +277,4 @@ def _fused_attend_range(
         lse_g = np.where(denom > 0, m + np.log(den_safe), -np.inf)
     out = np.ascontiguousarray(out_g.transpose(1, 0, 2, 3)).reshape(tq, nkv * g, dh)
     lse = np.ascontiguousarray(lse_g.transpose(1, 0, 2)).reshape(tq, nkv * g)
-    return AttentionResult(out=out, lse=lse)
-
-
-def _expand_path(
-    q: np.ndarray,
-    k: np.ndarray,
-    v: np.ndarray,
-    q_pos: np.ndarray,
-    k_pos: np.ndarray,
-    q_seq: np.ndarray | None,
-    k_seq: np.ndarray | None,
-    causal: bool,
-    scale: float,
-    block_size: int,
-    num_kv_splits: int,
-    mask_fn,
-    tq: int,
-    nh: int,
-    dh: int,
-) -> AttentionResult:
-    """Legacy expand-KV execution: per-block reference-kernel calls.
-
-    Re-expands KV heads and recomputes the mask once per block — the exact
-    seed behaviour, kept as the baseline the fused path is benchmarked and
-    equivalence-tested against.
-    """
-    split_edges = np.linspace(0, k.shape[0], num_kv_splits + 1, dtype=np.int64)
-    state = OnlineSoftmaxState(out_shape=(tq, nh, dh), lse_shape=(tq, nh))
-    for split in range(num_kv_splits):
-        lo, hi = int(split_edges[split]), int(split_edges[split + 1])
-        partial = _attend_range(
-            q, k, v, q_pos, k_pos, q_seq, k_seq, causal, scale, block_size,
-            lo, hi, mask_fn,
-        )
-        state.update(partial.out, partial.lse)
-    out, lse = state.finalize()
-    return AttentionResult(out=out, lse=lse)
-
-
-def _attend_range(
-    q: np.ndarray,
-    k: np.ndarray,
-    v: np.ndarray,
-    q_pos: np.ndarray,
-    k_pos: np.ndarray,
-    q_seq: np.ndarray | None,
-    k_seq: np.ndarray | None,
-    causal: bool,
-    scale: float | None,
-    block_size: int,
-    lo: int,
-    hi: int,
-    mask_fn=None,
-) -> AttentionResult:
-    """Expand-path online-softmax sweep over KV storage slice ``[lo, hi)``."""
-    tq, nh = q.shape[0], q.shape[1]
-    state = OnlineSoftmaxState(out_shape=(tq, nh, q.shape[-1]), lse_shape=(tq, nh))
-    for start in range(lo, hi, block_size):
-        stop = min(start + block_size, hi)
-        k_seq_blk = None if k_seq is None else np.asarray(k_seq)[start:stop]
-        out_blk, lse_blk = reference_attention_with_lse(
-            q,
-            k[start:stop],
-            v[start:stop],
-            q_pos=q_pos,
-            k_pos=k_pos[start:stop],
-            q_seq=q_seq,
-            k_seq=k_seq_blk,
-            causal=causal,
-            scale=scale,
-            mask_fn=mask_fn,
-        )
-        state.update(out_blk, lse_blk)
-    out, lse = state.finalize()
     return AttentionResult(out=out, lse=lse)

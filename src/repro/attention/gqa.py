@@ -35,12 +35,13 @@ def expand_kv_heads(kv: np.ndarray, n_heads: int) -> np.ndarray:
 
     Each KV head is repeated ``NH / NKV`` times so that a plain multi-head
     kernel can consume it. Only the fully-materialized reference kernel
-    (:mod:`repro.attention.reference`) — and therefore the legacy
-    ``fused=False`` expand path of :func:`repro.attention.flash
-    .flash_attention`, which calls it per block — uses this expanding copy.
-    The default fused kernel reshapes Q to ``[Tq, NKV, G, DH]`` and
-    contracts grouped query heads directly against the ``[Tk, NKV, DH]``
-    KV blocks, so no repeated-head tensor is ever materialized.
+    (:mod:`repro.attention.reference`) uses this expanding copy — it is the
+    independent oracle the fused kernel is equivalence-tested against.
+    :func:`repro.attention.flash.flash_attention` itself reshapes Q to
+    ``[Tq, NKV, G, DH]`` and contracts grouped query heads directly against
+    the ``[Tk, NKV, DH]`` KV blocks, so no repeated-head tensor is ever
+    materialized on the hot path (its legacy ``fused=False`` expand path
+    was removed once the fused kernel's equivalence was pinned).
     """
     s, n_kv, dh = kv.shape
     if n_heads % n_kv != 0:

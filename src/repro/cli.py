@@ -10,6 +10,10 @@ Commands:
   chooses for a partial prefill.
 - ``demo [--world N] [--tokens T]`` — run the numeric engine end-to-end
   and report the losslessness error.
+- ``serve`` — replay a multi-session trace through the continuous-batching
+  runtime (chunked prefill + preemption under KV pressure) and report
+  streaming metrics; ``--verify`` bit-checks every decoded token against
+  sequential per-conversation replay.
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     results.append(gqa_sensitivity.run())
     results.append(disaggregation.run())
     results.append(pp_vs_cp.run())
+    results.append(serving_load.run_runtime())
     if not args.fast:
         results.append(serving_load.run())
     for res in results:
@@ -125,6 +130,82 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.engine import ContextParallelEngine
+    from repro.model.config import llama3_405b_config, tiny_config
+    from repro.model.llama import LlamaModel
+    from repro.perf.hardware import gti_host, gtt_host
+    from repro.perf.latency import LatencySimulator
+    from repro.runtime import ContinuousBatchingRuntime, SimulatedStepClock
+    from repro.serving.scheduler import ChunkedPrefillPolicy
+    from repro.workloads.generator import WorkloadGenerator
+    from repro.workloads.replay import (
+        replay_scripts_sequential,
+        submit_scripts_to_runtime,
+    )
+
+    if args.round_budget < args.chunk:
+        print(
+            f"error: --round-budget ({args.round_budget}) must be >= "
+            f"--chunk ({args.chunk})",
+            file=sys.stderr,
+        )
+        return 2
+    model = LlamaModel(tiny_config(), seed=0)
+    gen = WorkloadGenerator(model.config.vocab_size, seed=args.seed)
+    scripts = [
+        gen.conversation(
+            sid, turns=args.turns, first_prompt=args.first_prompt,
+            followup_range=(6, 12), response_range=(4, 6),
+        )
+        for sid in range(args.sessions)
+    ]
+    host = gti_host() if args.platform == "gti" else gtt_host()
+    engine = ContextParallelEngine(
+        model, world_size=args.world, capacity_tokens=args.capacity
+    )
+    runtime = ContinuousBatchingRuntime(
+        engine,
+        policy=ChunkedPrefillPolicy(
+            chunk_tokens=args.chunk,
+            max_tokens_per_round=args.round_budget,
+            max_seqs_per_round=8,
+        ),
+        clock=SimulatedStepClock(
+            LatencySimulator(llama3_405b_config(), host), n_ranks=args.priced_ranks
+        ),
+    )
+    rids = submit_scripts_to_runtime(runtime, scripts)
+    report = runtime.run(max_steps=1_000_000)
+
+    cap = "unbounded" if args.capacity is None else str(args.capacity)
+    print(
+        f"served {args.sessions} sessions x {args.turns} turns on CP{args.world} "
+        f"(KV capacity/rank: {cap}, chunk: {args.chunk}, "
+        f"priced as 405B on CP{args.priced_ranks} {host.name})"
+    )
+    print(f"rounds: {report.prefill_rounds} prefill, {report.decode_rounds} decode")
+    print(f"makespan: {report.makespan:.1f}s simulated, "
+          f"{report.tokens_per_second():.2f} decoded tok/s")
+    print(report.metrics.summary())
+
+    if not args.verify:
+        return 0
+    reference = replay_scripts_sequential(
+        lambda: ContextParallelEngine(LlamaModel(tiny_config(), seed=0), world_size=args.world),
+        scripts,
+    )
+    mismatches = 0
+    for script in scripts:
+        got = [report.generated(rid) for rid in rids[script.seq_id]]
+        if got != reference[script.seq_id]:
+            mismatches += 1
+            print(f"MISMATCH seq {script.seq_id}: {got} != {reference[script.seq_id]}")
+    verdict = "identical" if mismatches == 0 else f"{mismatches} conversations differ"
+    print(f"verify vs sequential replay: {verdict}")
+    return 0 if mismatches == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -154,6 +235,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo.add_argument("--world", type=int, default=4)
     p_demo.add_argument("--tokens", type=int, default=32)
     p_demo.set_defaults(func=_cmd_demo)
+
+    p_serve = sub.add_parser(
+        "serve", help="replay a trace through the continuous-batching runtime"
+    )
+    p_serve.add_argument("--sessions", type=int, default=4)
+    p_serve.add_argument("--turns", type=int, default=2)
+    p_serve.add_argument("--first-prompt", type=int, default=48)
+    p_serve.add_argument("--world", type=int, default=2)
+    p_serve.add_argument(
+        "--capacity", type=int, default=None,
+        help="per-rank KV token capacity (default unbounded; small values force preemption)",
+    )
+    p_serve.add_argument("--chunk", type=int, default=16, help="prefill chunk tokens")
+    p_serve.add_argument("--round-budget", type=int, default=32,
+                         help="fused prefill round token budget")
+    p_serve.add_argument("--priced-ranks", type=int, default=4,
+                         help="CP pool size the step clock prices (405B model)")
+    p_serve.add_argument("--platform", choices=["gtt", "gti"], default="gtt")
+    p_serve.add_argument("--seed", type=int, default=11)
+    p_serve.add_argument(
+        "--verify", action="store_true",
+        help="bit-check decoded tokens against sequential per-conversation replay",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_trace = sub.add_parser("trace", help="export a Chrome trace of a demo run")
     p_trace.add_argument("--world", type=int, default=4)

@@ -391,9 +391,63 @@ class ContextParallelEngine:
 
     def release(self, seq_id: int) -> None:
         """Evict a finished conversation from every rank's cache."""
-        for cache in self.caches:
-            cache.drop(seq_id)
+        self.evict(seq_id)
+
+    def evict(self, seq_id: int) -> int:
+        """Evict ``seq_id`` from every rank; return total tokens freed.
+
+        The serving runtime uses this for capacity-pressure preemption:
+        the sequence's KV is dropped everywhere and the engine forgets its
+        length, so a later :meth:`prefill` of the full token history
+        restores it exactly (the algorithms are exact for any sharding, so
+        the resumed sequence's logits match the uninterrupted run).
+        """
+        freed = sum(cache.drop(seq_id) for cache in self.caches)
         self.seq_lengths.pop(seq_id, None)
+        return freed
+
+    # ------------------------------------------------------------------ #
+    # capacity queries (serving-runtime admission control)
+    # ------------------------------------------------------------------ #
+
+    def prefill_token_demand(self, specs: list[SequenceSpec]) -> list[dict[int, int]]:
+        """Per-rank ``{seq_id: new tokens}`` a prefill round would append.
+
+        Mirrors :meth:`prefill`'s load-balanced sharding without running
+        it, so a scheduler can test the round against :meth:`fits` before
+        committing.
+        """
+        shards = shard_sequences(specs, self.world_size)
+        demands: list[dict[int, int]] = []
+        for _, seq_ids in shards:
+            counts: dict[int, int] = {}
+            for sid in seq_ids:
+                counts[int(sid)] = counts.get(int(sid), 0) + 1
+            demands.append(counts)
+        return demands
+
+    def decode_token_demand(self, seq_ids: list[int]) -> list[dict[int, int]]:
+        """Per-rank ``{seq_id: 1}`` the *next* decode step would append.
+
+        Uses the current ``decode_steps`` counter, i.e. the round-robin
+        offset the next :meth:`decode` call will actually use.
+        """
+        from repro.core.ring_decode import round_robin_assignment
+
+        sids = sorted(seq_ids)
+        assignment = round_robin_assignment(len(sids), self.world_size, self.decode_steps)
+        demands: list[dict[int, int]] = [{} for _ in range(self.world_size)]
+        for i, sid in enumerate(sids):
+            demands[int(assignment[i])][sid] = 1
+        return demands
+
+    def fits(self, demands: list[dict[int, int]]) -> bool:
+        """Whether per-rank token demands fit every rank's KV pool."""
+        if len(demands) != self.world_size:
+            raise ValueError(f"expected {self.world_size} per-rank demands, got {len(demands)}")
+        return all(
+            cache.can_append(demand) for cache, demand in zip(self.caches, demands)
+        )
 
     def cached_tokens(self, seq_id: int) -> list[int]:
         """Per-rank cached token counts for ``seq_id`` (balance diagnostics)."""

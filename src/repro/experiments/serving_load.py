@@ -3,10 +3,15 @@
 Drives the discrete-event simulator with a Poisson stream of 128K-context
 requests and compares CP4 colocated (prefill preempts decode) against CP4
 prefill + dedicated TP8 decode — the serving-architecture question raised
-by §4.3.
+by §4.3. :func:`run_runtime` asks the same system-level questions of the
+*numeric* continuous-batching runtime instead: real engine rounds, real
+paged-KV capacity pressure, real preemptions — with latencies priced at
+paper scale by the calibrated model.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.experiments.base import ExperimentResult
 from repro.model.config import llama3_405b_config
@@ -66,5 +71,99 @@ def run(
         "prefill (ms/token includes multi-second gaps), while the "
         "dedicated decode host streams tokens at TP8 TTIT - the "
         "Mooncake/DistServe architecture the paper recommends (§4.3)."
+    )
+    return res
+
+
+def run_runtime(
+    host: HostSpec | None = None,
+    *,
+    n_sessions: int = 4,
+    turns: int = 2,
+    first_prompt: int = 48,
+    world_size: int = 2,
+    priced_ranks: int = 4,
+    seed: int = 11,
+) -> ExperimentResult:
+    """Capacity-pressure sweep through the continuous-batching runtime.
+
+    Replays one multi-session trace through the *numeric* runtime at a
+    sweep of per-rank KV capacities (unbounded down to barely-fits). As
+    capacity shrinks, admission control starts preempting: requests lose
+    their cache and pay exact re-prefill on resume, which shows up as
+    extra prefill rounds, later simulated finish times and a falling
+    goodput — the behaviour the analytic simulator can only assert,
+    demonstrated here by a system whose every token is bit-checked
+    against sequential replay (see ``tests/properties/test_prop_runtime``).
+
+    Numerics run the tiny model at ``world_size``; the step clock prices
+    rounds for Llama3 405B on ``priced_ranks`` CP hosts.
+    """
+    from repro.model.config import tiny_config
+    from repro.model.llama import LlamaModel
+    from repro.core.engine import ContextParallelEngine
+    from repro.perf.latency import LatencySimulator
+    from repro.runtime import ContinuousBatchingRuntime, SimulatedStepClock
+    from repro.serving.scheduler import ChunkedPrefillPolicy
+    from repro.workloads.generator import WorkloadGenerator
+    from repro.workloads.replay import submit_scripts_to_runtime
+
+    host = host if host is not None else gtt_host()
+    cfg = tiny_config()
+    model = LlamaModel(cfg, seed=0)
+    gen = WorkloadGenerator(cfg.vocab_size, seed=seed)
+    scripts = [
+        gen.conversation(
+            sid, turns=turns, first_prompt=first_prompt,
+            followup_range=(6, 12), response_range=(4, 6),
+        )
+        for sid in range(n_sessions)
+    ]
+    clock = SimulatedStepClock(
+        LatencySimulator(llama3_405b_config(), host), n_ranks=priced_ranks
+    )
+
+    res = ExperimentResult(
+        experiment_id="Runtime under capacity pressure",
+        title=(
+            f"{n_sessions} sessions x {turns} turns through the "
+            f"continuous-batching runtime (CP{world_size} numerics, "
+            f"CP{priced_ranks} pricing)"
+        ),
+        headers=[
+            "KV capacity/rank", "preemptions", "KV tokens evicted",
+            "prefill rounds", "decode rounds",
+            "mean TTFT (s)", "p95 TTFT (s)", "makespan (s)",
+        ],
+    )
+    for capacity in (None, 160, 96, 72):
+        engine = ContextParallelEngine(model, world_size=world_size, capacity_tokens=capacity)
+        runtime = ContinuousBatchingRuntime(
+            engine,
+            policy=ChunkedPrefillPolicy(
+                chunk_tokens=16, max_tokens_per_round=32, max_seqs_per_round=4
+            ),
+            clock=clock,
+        )
+        submit_scripts_to_runtime(runtime, scripts)
+        report = runtime.run(max_steps=100_000)
+        m = report.metrics
+        res.add_row(
+            "unbounded" if capacity is None else capacity,
+            m.preemptions,
+            m.evicted_tokens,
+            report.prefill_rounds,
+            report.decode_rounds,
+            float(np.mean(m.ttft_samples)),
+            m.percentile_ttft(95),
+            report.makespan,
+        )
+    res.notes.append(
+        "Same trace, same (bit-identical) tokens at every capacity - "
+        "shrinking the paged KV pool only adds preemptions, whose exact "
+        "re-prefill work surfaces as extra prefill rounds and a longer "
+        "simulated makespan. The runtime turns the paper's OOM-postponing "
+        "load-balance argument (§3.6) into an executable capacity/latency "
+        "trade-off curve."
     )
     return res

@@ -193,12 +193,38 @@ class RankKVCache:
     def sequence_ids(self, layer: int = 0) -> list[int]:
         return sorted({sid for (lyr, sid) in self._streams if lyr == layer})
 
-    def drop(self, seq_id: int) -> None:
-        """Evict a sequence from all layers and release its blocks."""
+    def can_append(self, demands: dict[int, int]) -> bool:
+        """Whether per-sequence token demands fit in this rank's pool.
+
+        Args:
+            demands: ``{seq_id: tokens to append}`` for one upcoming engine
+                round (prefill chunk or decode step).
+
+        Exact against fragmentation: each sequence first fills the slack in
+        its own partially-filled last block, then claims whole free blocks.
+        The serving runtime uses this as its admission predicate before
+        launching a round, so capacity pressure surfaces as a scheduling
+        decision (preempt / wait) instead of a mid-layer
+        :class:`CacheCapacityError`.
+        """
+        if self._allocator is None:
+            return True
+        return self._allocator.fits({(sid,): n for sid, n in demands.items()})
+
+    def drop(self, seq_id: int) -> int:
+        """Evict a sequence from all layers and release its blocks.
+
+        Returns:
+            Tokens freed at layer 0 (every layer stores the same token
+            set); 0 when the sequence was not cached here. The serving
+            runtime uses the return value for eviction accounting.
+        """
+        freed = self.tokens(seq_id)
         for layer in range(self.n_layers):
             self._streams.pop((layer, seq_id), None)
         if self._allocator is not None:
             self._allocator.release((seq_id,))
+        return freed
 
     def _check_layer(self, layer: int) -> None:
         if not 0 <= layer < self.n_layers:

@@ -104,6 +104,22 @@ class PagedAllocator:
             need -= self.block_size
         self._fill[key] = fill + n_tokens
 
+    def fits(self, demands: dict[tuple, int]) -> bool:
+        """Dry-run an :meth:`append` of ``demands[key]`` tokens per stream.
+
+        Computes how many *new* blocks the batch of appends would claim —
+        each stream first consumes the slack of its own last block — and
+        checks it against the free list, without mutating any state.
+        """
+        need = 0
+        for key, n_tokens in demands.items():
+            if n_tokens < 0:
+                raise ValueError(f"stream {key}: n_tokens must be >= 0, got {n_tokens}")
+            fill = self._fill.get(key, 0)
+            held = len(self._owners.get(key, ()))
+            need += max(0, -(-(fill + n_tokens) // self.block_size) - held)
+        return need <= len(self._free)
+
     def release(self, key: tuple) -> int:
         """Free all blocks of stream ``key``; returns the block count freed."""
         blocks = self._owners.pop(key, [])

@@ -1,0 +1,26 @@
+"""Continuous-batching serving runtime for the numeric CP engine.
+
+This package turns the reproduction's layers into one live system
+(paper §3.3/§4.3 made executable): the per-request state machine
+(:mod:`repro.runtime.state`), simulated step-time pricing
+(:mod:`repro.runtime.clock`), and the event loop itself
+(:mod:`repro.runtime.runtime`) — chunked prefill fused across requests,
+batched decode interleaving, admission control and capacity-pressure
+preemption against the paged KV allocator, with exact re-prefill on
+resume. Decoded tokens are identical to replaying every conversation
+sequentially; only placement and (simulated) timing change.
+"""
+
+from repro.runtime.clock import SimulatedStepClock, UnitStepClock
+from repro.runtime.runtime import ContinuousBatchingRuntime, RuntimeReport
+from repro.runtime.state import RequestRecord, RequestState, TurnRequest
+
+__all__ = [
+    "ContinuousBatchingRuntime",
+    "RequestRecord",
+    "RequestState",
+    "RuntimeReport",
+    "SimulatedStepClock",
+    "TurnRequest",
+    "UnitStepClock",
+]

@@ -1,0 +1,606 @@
+"""Continuous-batching serving runtime over the numeric CP engine.
+
+:class:`ContinuousBatchingRuntime` is the first subsystem where every layer
+of the reproduction executes together under live traffic: the
+:class:`repro.core.engine.ContextParallelEngine` produces numerically exact
+logits, the :class:`repro.serving.scheduler.ChunkedPrefillPolicy` packs
+budget-bounded prefill chunks, the paged KV allocator enforces per-rank
+capacity, the planner's pass-KV/pass-Q heuristic fires per chunk, and the
+:mod:`repro.runtime.clock` prices every engine round in simulated seconds
+for streaming TTFT/TTIT metrics.
+
+Scheduling model (event-driven, deterministic):
+
+- **Chunked prefill**: pending prompts commit in FIFO order, at most
+  ``chunk_tokens`` per request per round, fused across requests up to the
+  round token budget. Each chunk is a partial prefill over the KV the
+  previous chunks committed, so a long prompt never monopolizes the
+  engine and the heuristic can flip to pass-Q as the chunk-local
+  cache-hit rate climbs.
+- **Decode interleaving**: when requests are decoding, at most
+  ``max_prefill_rounds_per_decode`` prefill rounds run between batched
+  decode rounds (all decoding sequences advance one token per round).
+- **Admission & preemption**: before any round, its exact per-rank KV
+  token demand (from the engine's load-balanced sharding) is checked
+  against the paged pools. Under pressure the runtime evicts, in order:
+  idle conversations (between turns), then the *youngest* active request
+  — never one older than any beneficiary of the round, so admission stays
+  FCFS. A preempted request loses all cached KV and later re-prefills its
+  full committed history in chunks; because the algorithms are exact for
+  any sharding and chunking, the resumed request's tokens are identical
+  to an uninterrupted run (pinned by property tests).
+
+Exactness contract: for greedy decoding, the per-request token streams are
+identical to replaying each conversation sequentially through
+:class:`repro.serving.session.ChatSession` on a dedicated engine —
+continuous batching, chunking and preemption change *placement and
+timing*, never values.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.engine import ContextParallelEngine
+from repro.core.sharding import SequenceSpec
+from repro.model.sampling import sample_greedy
+from repro.runtime.clock import UnitStepClock
+from repro.runtime.state import RequestRecord, RequestState, TurnRequest
+from repro.serving.metrics import ServingMetrics
+from repro.serving.request import TurnRecord
+from repro.serving.scheduler import ChunkAssignment, ChunkedPrefillPolicy
+from repro.workloads.generator import ConversationScript
+
+#: States in which a request occupies (or is about to occupy) engine KV.
+_ACTIVE_STATES = (RequestState.PREFILL, RequestState.DECODE)
+
+
+@dataclass
+class RuntimeReport:
+    """Aggregate outcome of a runtime run.
+
+    This is a *live view*, not a snapshot: ``records`` and ``metrics``
+    reference the runtime's own mutable state, so a report taken mid-run
+    keeps updating as further steps execute (which is what lets tests and
+    external policies inspect in-flight requests cheaply). Take the
+    report after :meth:`ContinuousBatchingRuntime.run` drains — or copy
+    fields — when a frozen snapshot is needed.
+
+    Attributes:
+        records: every submitted request's record, by request id.
+        metrics: rolled-up serving metrics (turns, TTFT/TTIT percentiles,
+            preemption/eviction counters).
+        makespan: simulated seconds from 0 to the last round's end.
+        prefill_rounds / decode_rounds: executed engine rounds by kind.
+    """
+
+    records: dict[int, RequestRecord] = field(default_factory=dict)
+    metrics: ServingMetrics = field(default_factory=ServingMetrics)
+    makespan: float = 0.0
+    prefill_rounds: int = 0
+    decode_rounds: int = 0
+
+    @property
+    def generated_tokens(self) -> int:
+        return sum(len(r.generated) for r in self.records.values())
+
+    def tokens_per_second(self) -> float:
+        """Decoded tokens per simulated second over the makespan."""
+        return self.generated_tokens / self.makespan if self.makespan > 0 else 0.0
+
+    def generated(self, request_id: int) -> list[int]:
+        return list(self.records[request_id].generated)
+
+
+class ContinuousBatchingRuntime:
+    """Event-driven continuous batching over one CP engine.
+
+    Args:
+        engine: the numeric engine (its ``capacity_tokens`` is the KV
+            pressure source; unbounded engines never preempt).
+        policy: chunked-prefill round packing (default 512-token chunks,
+            test scale).
+        clock: round pricer (default :class:`UnitStepClock`).
+        max_prefill_rounds_per_decode: prefill rounds allowed between
+            decode rounds while any request is decoding (>= 1). Higher
+            values favour TTFT over TTIT.
+    """
+
+    def __init__(
+        self,
+        engine: ContextParallelEngine,
+        *,
+        policy: ChunkedPrefillPolicy | None = None,
+        clock=None,
+        max_prefill_rounds_per_decode: int = 1,
+    ):
+        if max_prefill_rounds_per_decode < 1:
+            raise ValueError(
+                f"max_prefill_rounds_per_decode must be >= 1, got {max_prefill_rounds_per_decode}"
+            )
+        self.engine = engine
+        self.policy = policy if policy is not None else ChunkedPrefillPolicy(
+            chunk_tokens=512, max_tokens_per_round=2048, max_seqs_per_round=8
+        )
+        self.clock = clock if clock is not None else UnitStepClock()
+        self.max_prefill_rounds_per_decode = max_prefill_rounds_per_decode
+
+        self.now = 0.0
+        self.metrics = ServingMetrics()
+        self.prefill_rounds = 0
+        self.decode_rounds = 0
+        self._records: dict[int, RequestRecord] = {}
+        self._chains: dict[int, list[int]] = {}  # seq_id -> unfinished turn rids, in order
+        self._turn_history: dict[int, list[int]] = {}  # seq_id -> tokens of finished turns
+        self._prefill_queue: list[tuple[tuple[float, int], int]] = []  # (sort key, rid)
+        self._prefill_streak = 0
+        self._next_rid = 0
+        # incremental indices so per-step bookkeeping is O(active), not
+        # O(all requests ever submitted); _records itself retains finished
+        # requests deliberately — it is the report() API surface
+        self._live: set[int] = set()  # rids not yet FINISHED
+        self._decoding: set[int] = set()  # rids in DECODE state
+        self._waiting: set[int] = set()  # seq_ids whose chain head is QUEUED
+        self._kv_holders: set[int] = set()  # seq_ids with tokens in engine KV
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: TurnRequest) -> int:
+        """Enqueue one turn; returns its request id.
+
+        Turns sharing a ``seq_id`` form a conversation: they run in submit
+        order over one persistent KV stream, each waiting for its
+        predecessor to finish.
+        """
+        if request.request_id < 0:
+            request.request_id = self._next_rid
+        if request.request_id in self._records:
+            raise ValueError(f"request {request.request_id} already submitted")
+        self._next_rid = max(self._next_rid, request.request_id) + 1
+        self._records[request.request_id] = RequestRecord(request=request)
+        chain = self._chains.setdefault(request.seq_id, [])
+        chain.append(request.request_id)
+        self._turn_history.setdefault(request.seq_id, [])
+        self._live.add(request.request_id)
+        if len(chain) == 1:
+            self._waiting.add(request.seq_id)
+        return request.request_id
+
+    def submit_script(
+        self,
+        script: ConversationScript,
+        *,
+        arrival: float = 0.0,
+        think_time: float = 0.0,
+    ) -> list[int]:
+        """Enqueue a whole scripted conversation; returns its request ids.
+
+        Turn ``i`` arrives no earlier than ``arrival + i * think_time``
+        (and never before its predecessor finishes).
+        """
+        if think_time < 0:
+            raise ValueError("think_time must be >= 0")
+        rids = []
+        n = script.turns
+        for i, (prompt, budget) in enumerate(zip(script.prompts, script.response_budgets)):
+            rids.append(
+                self.submit(
+                    TurnRequest(
+                        request_id=-1,
+                        seq_id=script.seq_id,
+                        prompt=prompt,
+                        max_new_tokens=int(budget),
+                        arrival=arrival + i * think_time,
+                        last_turn=(i == n - 1),
+                    )
+                )
+            )
+        return rids
+
+    # ------------------------------------------------------------------ #
+    # event loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, *, max_steps: int | None = None) -> RuntimeReport:
+        """Drive :meth:`step` until every submitted request finishes."""
+        steps = 0
+        while self.step():
+            steps += 1
+            if max_steps is not None and steps >= max_steps:
+                raise RuntimeError(f"runtime did not drain within {max_steps} steps")
+        return self.report()
+
+    def step(self) -> bool:
+        """Execute one engine round (or advance the clock to the next
+        arrival). Returns ``True`` while unfinished requests remain."""
+        if not self._any_live():
+            return False
+        self._admit()
+        if not self._prefill_queue and not self._decoders():
+            nxt = self._next_arrival()
+            assert nxt is not None, "live requests but nothing runnable or arriving"
+            self.now = max(self.now, nxt)
+            self._admit()
+
+        decoders = self._decoders()
+        want_decode = decoders and (
+            not self._prefill_queue
+            or self._prefill_streak >= self.max_prefill_rounds_per_decode
+        )
+        if not want_decode and self._prefill_queue:
+            if self._prefill_round():
+                self._prefill_streak += 1
+                return self._any_live()
+            decoders = self._decoders()  # fit loop may have preempted some
+            if not decoders:
+                rid = self._prefill_queue[0][1]
+                raise RuntimeError(
+                    f"KV capacity exhausted: request {rid} cannot prefill even "
+                    "one token after evicting every eligible victim"
+                )
+        if decoders:
+            self._decode_round(decoders)
+            self._prefill_streak = 0
+        return self._any_live()
+
+    def report(self) -> RuntimeReport:
+        """Current :class:`RuntimeReport` (a live view; see its docs)."""
+        return RuntimeReport(
+            records=dict(self._records),
+            metrics=self.metrics,
+            makespan=self.now,
+            prefill_rounds=self.prefill_rounds,
+            decode_rounds=self.decode_rounds,
+        )
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+
+    def _admit(self) -> None:
+        """Move eligible chain-head turns into the prefill FIFO."""
+        for seq_id in sorted(self._waiting):
+            rec = self._records[self._chains[seq_id][0]]
+            if rec.request.arrival > self.now:
+                continue
+            self._waiting.discard(seq_id)
+            rec.state = RequestState.PREFILL
+            rec.admitted_at = self.now
+            rec.cached_at_start = self.engine.context_length(seq_id)
+            if rec.cached_at_start == 0 and self._turn_history[seq_id]:
+                # the idle conversation was evicted between turns: fold the
+                # full committed history back into this turn's prefill
+                rec.pending_input = np.asarray(
+                    self._turn_history[seq_id] + list(rec.request.prompt), dtype=np.int64
+                )
+            self._enqueue_prefill(rec)
+
+    def _enqueue_prefill(self, rec: RequestRecord) -> None:
+        key = (rec.request.arrival, rec.request_id)
+        bisect.insort(self._prefill_queue, (key, rec.request_id))
+
+    # ------------------------------------------------------------------ #
+    # prefill rounds
+    # ------------------------------------------------------------------ #
+
+    def _prefill_round(self) -> bool:
+        """Build, fit and execute one chunked prefill round.
+
+        Returns ``False`` when not even a one-token chunk of the FIFO head
+        fits after exhausting every eligible victim (the caller decides
+        whether decoding can make progress instead).
+        """
+        by_seq = {self._records[rid].seq_id: self._records[rid] for _, rid in self._prefill_queue}
+        pending = []
+        for _, rid in self._prefill_queue:
+            rec = self._records[rid]
+            pending.append((rec.seq_id, rec.prefill_remaining))
+        round_ = self.policy.build_round(pending)
+        round_ = self._fit_prefill_round(round_, by_seq)
+        if not round_:
+            return False
+
+        prompts: dict[int, np.ndarray] = {}
+        chunk_tp: list[tuple[int, int]] = []
+        for chunk in round_:
+            rec = by_seq[chunk.seq_id]
+            lo = rec.prefill_done
+            prompts[chunk.seq_id] = rec.pending_input[lo : lo + chunk.tokens]
+            chunk_tp.append((chunk.tokens, self.engine.context_length(chunk.seq_id)))
+
+        out = self.engine.prefill(prompts)
+        self.now += self.clock.price_prefill(chunk_tp)
+        self.prefill_rounds += 1
+        self._kv_holders.update(prompts)
+
+        for chunk in round_:
+            rec = by_seq[chunk.seq_id]
+            rec.state = RequestState.PREFILL
+            rec.prefill_done += chunk.tokens
+            rec.chunk_algos.append(out.plan.algo.value)
+            if rec.prefill_remaining == 0:
+                self._dequeue_prefill(rec)
+                self._on_prefill_complete(rec, out.last_logits(chunk.seq_id))
+        return True
+
+    def _on_prefill_complete(self, rec: RequestRecord, last_logits: np.ndarray) -> None:
+        if rec.request.max_new_tokens == 0:
+            self._finish_turn(rec)
+            return
+        if rec.resample_on_prefill:
+            token = int(sample_greedy(last_logits))
+            rec.generated.append(token)
+            rec.token_times.append(self.now)
+            if rec.first_token_at is None:
+                rec.first_token_at = self.now
+        # post-preemption resume keeps its already-sampled pending token —
+        # the re-prefill logits would reproduce it exactly
+        rec.resample_on_prefill = True
+        rec.state = RequestState.DECODE
+        self._decoding.add(rec.request_id)
+
+    def _fit_prefill_round(
+        self,
+        round_: list[ChunkAssignment],
+        by_seq: dict[int, RequestRecord],
+    ) -> list[ChunkAssignment]:
+        """Shrink/evict until the round's exact per-rank KV demand fits.
+
+        Victims must be younger than every beneficiary (FCFS): when none
+        qualify, the round drops its own youngest member instead, and the
+        last remaining chunk shrinks down to whatever fits.
+        """
+        while round_:
+            specs = [
+                SequenceSpec(c.seq_id, c.tokens, self.engine.context_length(c.seq_id))
+                for c in round_
+            ]
+            if self.engine.fits(self.engine.prefill_token_demand(specs)):
+                return round_
+            tail_key = max(
+                (by_seq[c.seq_id].request.arrival, by_seq[c.seq_id].request_id)
+                for c in round_
+            )
+            victim = self._find_victim(
+                protected={c.seq_id for c in round_}, younger_than=tail_key
+            )
+            if victim is not None:
+                self._evict(victim)
+                continue
+            if len(round_) > 1:
+                round_.pop()
+                continue
+            head = round_[0]
+            cached = self.engine.context_length(head.seq_id)
+            best = self._max_fitting_chunk(head.seq_id, cached, head.tokens)
+            if best == 0:
+                return []
+            return [ChunkAssignment(seq_id=head.seq_id, tokens=best)]
+        return []
+
+    def _max_fitting_chunk(self, seq_id: int, cached: int, want: int) -> int:
+        """Largest chunk of ``[1, want]`` tokens whose demand fits (0 = none)."""
+        lo, hi, best = 1, want, 0
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            demand = self.engine.prefill_token_demand([SequenceSpec(seq_id, mid, cached)])
+            if self.engine.fits(demand):
+                best = mid
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return best
+
+    # ------------------------------------------------------------------ #
+    # decode rounds
+    # ------------------------------------------------------------------ #
+
+    def _decode_round(self, decoders: list[RequestRecord]) -> None:
+        """Advance every decoding request one token (with capacity fitting)."""
+        live = sorted(decoders, key=lambda r: (r.request.arrival, r.request_id))
+        while live:
+            sids = [r.seq_id for r in live]
+            if self.engine.fits(self.engine.decode_token_demand(sids)):
+                break
+            victim = self._find_victim(protected=set(), younger_than=None)
+            if victim is None:
+                raise RuntimeError(
+                    "KV capacity exhausted: a decode step cannot fit even "
+                    "after evicting every eligible victim"
+                )
+            if isinstance(victim, RequestRecord) and len(live) == 1 and victim is live[0]:
+                # the sole decoder is itself the youngest KV holder.
+                # Preempting it only makes sense when a strictly older
+                # request is waiting for the space (FCFS hands the pool
+                # over); otherwise re-prefill would just hit this same
+                # wall and the workload genuinely exceeds capacity.
+                vkey = (victim.request.arrival, victim.request_id)
+                older_waiting = any(
+                    (self._records[rid].request.arrival, rid) < vkey
+                    for rid in self._live
+                    if rid != victim.request_id
+                )
+                if not older_waiting:
+                    raise RuntimeError(
+                        "KV capacity exhausted: the last decoding request "
+                        "cannot fit its next token and no older request is "
+                        "waiting for the space"
+                    )
+            self._evict(victim)
+            if isinstance(victim, RequestRecord) and victim in live:
+                live.remove(victim)
+        if not live:
+            return
+
+        contexts = [self.engine.context_length(r.seq_id) + 1 for r in live]
+        tokens = {r.seq_id: r.generated[-1] for r in live}
+        out = self.engine.decode(tokens)
+        self.now += self.clock.price_decode(contexts)
+        self.decode_rounds += 1
+
+        for rec in live:
+            if len(rec.generated) < rec.request.max_new_tokens:
+                token = int(sample_greedy(out.logits[rec.seq_id]))
+                rec.generated.append(token)
+                rec.token_times.append(self.now)
+            else:
+                # the round just committed the final token's KV
+                self._finish_turn(rec)
+
+    # ------------------------------------------------------------------ #
+    # preemption
+    # ------------------------------------------------------------------ #
+
+    def preempt(self, request_id: int) -> None:
+        """Forcibly evict an active request (tests / external policies)."""
+        rec = self._records[request_id]
+        if rec.state not in _ACTIVE_STATES:
+            raise ValueError(f"request {request_id} is {rec.state.value}, not preemptible")
+        self._evict(rec)
+
+    def _find_victim(
+        self,
+        *,
+        protected: set[int],
+        younger_than: tuple[float, int] | None,
+    ):
+        """Next KV holder to evict: idle conversations first (no pending
+        turn, then latest next-arrival), then the youngest active request
+        (only if younger than ``younger_than`` when given). ``None`` when
+        nothing is evictable."""
+        idle_free, idle_pending = [], []
+        for seq_id in self._kv_holders:
+            if seq_id in protected:
+                continue
+            chain = self._chains.get(seq_id)
+            if not chain:
+                idle_free.append(seq_id)
+                continue
+            head = self._records[chain[0]]
+            if head.state not in _ACTIVE_STATES:  # holder waiting between turns
+                idle_pending.append((head.request.arrival, seq_id))
+        if idle_free:
+            return min(idle_free)
+        if idle_pending:
+            return max(idle_pending)[1]
+
+        candidates = [
+            rec
+            for rec in (self._records[rid] for rid in self._live)
+            if rec.state in _ACTIVE_STATES
+            and rec.seq_id not in protected
+            and self.engine.context_length(rec.seq_id) > 0
+        ]
+        if not candidates:
+            return None
+        rec = max(candidates, key=lambda r: (r.request.arrival, r.request_id))
+        if younger_than is not None and (rec.request.arrival, rec.request_id) <= younger_than:
+            return None
+        return rec
+
+    def _evict(self, victim) -> None:
+        """Evict an idle conversation (``int`` seq id) or an active request."""
+        if isinstance(victim, RequestRecord):
+            self._preempt_record(victim)
+            return
+        freed = self.engine.evict(victim)
+        self._kv_holders.discard(victim)
+        self.metrics.record_preemption(freed)
+
+    def _preempt_record(self, rec: RequestRecord) -> None:
+        freed = self.engine.evict(rec.seq_id)
+        self._kv_holders.discard(rec.seq_id)
+        self.metrics.record_preemption(freed)
+        rec.preemptions += 1
+        # tokens whose KV was committed by decode rounds (all generated but
+        # the in-flight last one) fold into the re-prefill input; the
+        # pending sampled token survives and is NOT resampled on resume
+        committed_generated = rec.generated[:-1] if rec.generated else []
+        rec.resample_on_prefill = not rec.generated
+        rec.pending_input = np.asarray(
+            self._turn_history[rec.seq_id]
+            + list(rec.request.prompt)
+            + [int(t) for t in committed_generated],
+            dtype=np.int64,
+        )
+        rec.prefill_done = 0
+        was_decoding = rec.state is RequestState.DECODE
+        rec.state = RequestState.PREEMPTED
+        self._decoding.discard(rec.request_id)
+        if was_decoding or not self._in_prefill_queue(rec):
+            self._enqueue_prefill(rec)
+
+    def _in_prefill_queue(self, rec: RequestRecord) -> bool:
+        return any(rid == rec.request_id for _, rid in self._prefill_queue)
+
+    def _dequeue_prefill(self, rec: RequestRecord) -> None:
+        self._prefill_queue = [
+            (key, rid) for key, rid in self._prefill_queue if rid != rec.request_id
+        ]
+
+    # ------------------------------------------------------------------ #
+    # completion
+    # ------------------------------------------------------------------ #
+
+    def _finish_turn(self, rec: RequestRecord) -> None:
+        rec.state = RequestState.FINISHED
+        rec.finished_at = self.now
+        self._live.discard(rec.request_id)
+        self._decoding.discard(rec.request_id)
+        seq_id = rec.seq_id
+        self._turn_history[seq_id].extend(int(t) for t in rec.request.prompt)
+        self._turn_history[seq_id].extend(rec.generated)
+        chain = self._chains[seq_id]
+        assert chain and chain[0] == rec.request_id, "turn finished out of chain order"
+        chain.pop(0)
+        if chain:
+            self._waiting.add(seq_id)  # next turn's head is now eligible
+        self.metrics.record_turn(
+            TurnRecord(
+                seq_id=seq_id,
+                prompt_tokens=int(rec.request.prompt.size),
+                cached_tokens=rec.cached_at_start,
+                response_tokens=len(rec.generated),
+                algo=rec.chunk_algos[-1] if rec.chunk_algos else "none",
+                generated=list(rec.generated),
+            ),
+            ttft=rec.ttft if rec.first_token_at is not None else None,
+        )
+        for gap in rec.ttit_samples():
+            self.metrics.record_ttit(gap)
+        if rec.request.last_turn and not chain:
+            # conversation over: release KV and prune per-seq state (a
+            # later submit for the same seq_id starts a fresh conversation)
+            self.engine.release(seq_id)
+            self._kv_holders.discard(seq_id)
+            del self._chains[seq_id]
+            del self._turn_history[seq_id]
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def _decoders(self) -> list[RequestRecord]:
+        return [self._records[rid] for rid in self._decoding]
+
+    def _any_live(self) -> bool:
+        return bool(self._live)
+
+    def _next_arrival(self) -> float | None:
+        times = [
+            self._records[self._chains[seq_id][0]].request.arrival
+            for seq_id in self._waiting
+        ]
+        return min(times) if times else None
+
+    def state_counts(self) -> dict[str, int]:
+        """Requests per lifecycle state (diagnostics)."""
+        counts: dict[str, int] = {}
+        for rec in self._records.values():
+            counts[rec.state.value] = counts.get(rec.state.value, 0) + 1
+        return counts

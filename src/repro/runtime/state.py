@@ -1,0 +1,140 @@
+"""Per-request state machine records for the serving runtime.
+
+Each conversation turn moves through::
+
+    QUEUED --admit--> PREFILL --last chunk--> DECODE --budget spent--> FINISHED
+                         ^                      |
+                         |____ PREEMPTED <------/  (capacity pressure)
+
+- **QUEUED**: submitted, waiting for arrival time and (for follow-up
+  turns) the previous turn of the same conversation to finish.
+- **PREFILL**: the turn's pending input is being committed chunk by chunk
+  (each chunk a budget-bounded partial prefill).
+- **DECODE**: one token per decode round until ``max_new_tokens`` are
+  generated *and committed* — like :class:`repro.serving.session
+  .ChatSession`, the final token's KV is decoded into the cache so
+  follow-up turns see an identical persistent state.
+- **PREEMPTED**: evicted under KV capacity pressure; all of the
+  conversation's cache is dropped, and the request rejoins the prefill
+  FIFO to re-prefill its full committed history exactly before resuming.
+- **FINISHED**: terminal.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class RequestState(enum.Enum):
+    """Lifecycle states of a turn inside the runtime."""
+
+    QUEUED = "queued"
+    PREFILL = "prefill"
+    DECODE = "decode"
+    PREEMPTED = "preempted"
+    FINISHED = "finished"
+
+
+@dataclass(eq=False)
+class TurnRequest:
+    """One conversation turn submitted to the runtime.
+
+    Attributes:
+        request_id: unique id across the runtime (assigned at submit when
+            negative).
+        seq_id: conversation id; turns with the same seq_id run in submit
+            order over one persistent KV stream.
+        prompt: the turn's new prompt tokens.
+        max_new_tokens: decode budget for the response.
+        arrival: earliest start time in simulated seconds (follow-up turns
+            additionally wait for their predecessor to finish).
+        last_turn: release the conversation's KV when this turn finishes.
+    """
+
+    request_id: int
+    seq_id: int
+    prompt: np.ndarray
+    max_new_tokens: int
+    arrival: float = 0.0
+    last_turn: bool = True
+
+    def __post_init__(self) -> None:
+        self.prompt = np.asarray(self.prompt, dtype=np.int64)
+        if self.prompt.ndim != 1 or self.prompt.size == 0:
+            raise ValueError(f"request {self.request_id}: prompt must be non-empty 1-D")
+        if self.max_new_tokens < 0:
+            raise ValueError("max_new_tokens must be >= 0")
+        if self.arrival < 0:
+            raise ValueError("arrival must be >= 0")
+
+
+@dataclass(eq=False)
+class RequestRecord:
+    """Runtime bookkeeping and streaming metrics for one turn.
+
+    Attributes:
+        request: the submitted turn.
+        state: current lifecycle state.
+        pending_input: tokens still to be prefilled before decode can
+            (re)start. Initially the turn's prompt; after a preemption it
+            is rebuilt as the conversation's full committed history.
+        prefill_done: how many tokens of ``pending_input`` are committed.
+        generated: decoded token ids (the last one may not yet have its KV
+            committed — it is the next decode round's input).
+        resample_on_prefill: whether finishing the prefill should sample a
+            fresh first token (normal path) or resume with the already
+            sampled ``generated[-1]`` (post-preemption path).
+        cached_at_start: persistent KV length when the turn started
+            (the ``P`` of its first prefill chunk), for miss-rate records.
+        preemptions: times this turn was evicted.
+        chunk_algos: planner decision per executed prefill chunk.
+        admitted_at / first_token_at / finished_at: simulated timestamps.
+        token_times: simulated emission time of every generated token
+            (``token_times[0]`` is the TTFT sample point).
+    """
+
+    request: TurnRequest
+    state: RequestState = RequestState.QUEUED
+    pending_input: np.ndarray | None = None
+    prefill_done: int = 0
+    generated: list[int] = field(default_factory=list)
+    resample_on_prefill: bool = True
+    cached_at_start: int = 0
+    preemptions: int = 0
+    chunk_algos: list[str] = field(default_factory=list)
+    admitted_at: float | None = None
+    first_token_at: float | None = None
+    finished_at: float | None = None
+    token_times: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.pending_input is None:
+            self.pending_input = np.asarray(self.request.prompt, dtype=np.int64)
+
+    # ------------------------------- views ------------------------------ #
+
+    @property
+    def request_id(self) -> int:
+        return self.request.request_id
+
+    @property
+    def seq_id(self) -> int:
+        return self.request.seq_id
+
+    @property
+    def prefill_remaining(self) -> int:
+        return int(self.pending_input.size) - self.prefill_done
+
+    @property
+    def ttft(self) -> float:
+        """Arrival to first decoded token (nan until it happens)."""
+        if self.first_token_at is None:
+            return float("nan")
+        return self.first_token_at - self.request.arrival
+
+    def ttit_samples(self) -> list[float]:
+        """Inter-token gaps of the streamed response."""
+        return [b - a for a, b in zip(self.token_times, self.token_times[1:])]

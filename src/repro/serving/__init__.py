@@ -10,17 +10,27 @@ KV cache. This package provides that serving loop on top of
 - :mod:`repro.serving.session` — :class:`ChatSession`, one conversation's
   prefill/decode driver with cache-hit accounting.
 - :mod:`repro.serving.scheduler` — fused variable-length batch assembly
-  (Figure 1's fused inputs) over a FIFO of requests.
-- :mod:`repro.serving.metrics` — TTFT/TTIT/cache-hit aggregation.
+  (Figure 1's fused inputs) over a FIFO of requests, plus the
+  chunk-granularity round packing the continuous-batching runtime
+  (:mod:`repro.runtime`) schedules with.
+- :mod:`repro.serving.metrics` — TTFT/TTIT/cache-hit aggregation and
+  preemption/eviction accounting.
 """
 
 from repro.serving.metrics import ServingMetrics
 from repro.serving.request import PrefillRequest, TurnRecord
-from repro.serving.scheduler import FusedBatch, Scheduler
+from repro.serving.scheduler import (
+    ChunkAssignment,
+    ChunkedPrefillPolicy,
+    FusedBatch,
+    Scheduler,
+)
 from repro.serving.session import ChatSession
 
 __all__ = [
     "ChatSession",
+    "ChunkAssignment",
+    "ChunkedPrefillPolicy",
     "FusedBatch",
     "PrefillRequest",
     "Scheduler",

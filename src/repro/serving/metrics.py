@@ -13,13 +13,17 @@ from repro.serving.request import TurnRecord
 class ServingMetrics:
     """Rolling aggregate over completed turns.
 
-    TTFT/TTIT samples come from the analytic simulator (seconds); token and
-    cache-hit accounting comes from the numeric engine's turn records.
+    TTFT/TTIT samples come from the analytic simulator or the serving
+    runtime's step clock (seconds); token and cache-hit accounting comes
+    from the numeric engine's turn records. Preemption/eviction counters
+    are fed by the continuous-batching runtime's capacity-pressure path.
     """
 
     ttft_samples: list[float] = field(default_factory=list)
     ttit_samples: list[float] = field(default_factory=list)
     turns: list[TurnRecord] = field(default_factory=list)
+    preemptions: int = 0
+    evicted_tokens: int = 0
 
     def record_turn(self, turn: TurnRecord, *, ttft: float | None = None, ttit: float | None = None) -> None:
         self.turns.append(turn)
@@ -27,6 +31,15 @@ class ServingMetrics:
             self.ttft_samples.append(float(ttft))
         if ttit is not None:
             self.ttit_samples.append(float(ttit))
+
+    def record_ttit(self, ttit: float) -> None:
+        """Record one inter-token gap (runtime decode streaming)."""
+        self.ttit_samples.append(float(ttit))
+
+    def record_preemption(self, evicted_tokens: int) -> None:
+        """Count one capacity-pressure preemption and the KV it evicted."""
+        self.preemptions += 1
+        self.evicted_tokens += int(evicted_tokens)
 
     # ------------------------------- views ------------------------------ #
 
@@ -53,13 +66,15 @@ class ServingMetrics:
         return counts
 
     def percentile_ttft(self, q: float) -> float:
+        """TTFT percentile in seconds; ``nan`` when no samples exist."""
         if not self.ttft_samples:
-            raise ValueError("no TTFT samples recorded")
+            return float("nan")
         return float(np.percentile(self.ttft_samples, q))
 
     def percentile_ttit(self, q: float) -> float:
+        """TTIT percentile in seconds; ``nan`` when no samples exist."""
         if not self.ttit_samples:
-            raise ValueError("no TTIT samples recorded")
+            return float("nan")
         return float(np.percentile(self.ttit_samples, q))
 
     def summary(self) -> str:
@@ -69,9 +84,18 @@ class ServingMetrics:
             f"generated tokens: {self.total_generated_tokens}",
             f"mean cache hit rate: {self.mean_cache_hit_rate:.3f}",
             f"algo counts: {self.algo_counts()}",
+            f"preemptions: {self.preemptions} ({self.evicted_tokens} KV tokens evicted)",
         ]
         if self.ttft_samples:
-            lines.append(f"p50 TTFT: {self.percentile_ttft(50):.3f}s")
+            lines.append(
+                "TTFT p50/p95/p99: "
+                f"{self.percentile_ttft(50):.3f}/{self.percentile_ttft(95):.3f}/"
+                f"{self.percentile_ttft(99):.3f}s"
+            )
         if self.ttit_samples:
-            lines.append(f"p50 TTIT: {self.percentile_ttit(50) * 1e3:.2f}ms")
+            lines.append(
+                "TTIT p50/p95/p99: "
+                f"{self.percentile_ttit(50) * 1e3:.2f}/{self.percentile_ttit(95) * 1e3:.2f}/"
+                f"{self.percentile_ttit(99) * 1e3:.2f}ms"
+            )
         return "\n".join(lines)

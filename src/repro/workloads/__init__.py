@@ -11,6 +11,11 @@ generates them:
 """
 
 from repro.workloads.generator import ConversationScript, WorkloadGenerator
+from repro.workloads.replay import (
+    replay_scripts_sequential,
+    script_to_arrivals,
+    submit_scripts_to_runtime,
+)
 from repro.workloads.traces import (
     FIG6_CONTEXT_LENGTHS,
     FIG8_CONTEXT_LENGTHS,
@@ -24,5 +29,8 @@ __all__ = [
     "FIG8_CONTEXT_LENGTHS",
     "TABLE4_SWEEP",
     "WorkloadGenerator",
+    "replay_scripts_sequential",
+    "script_to_arrivals",
+    "submit_scripts_to_runtime",
     "table4_rows",
 ]

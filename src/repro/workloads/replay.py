@@ -1,10 +1,13 @@
-"""Workload replay glue: conversation scripts -> simulator arrival streams.
+"""Workload replay glue: conversation scripts -> arrival streams / runtimes.
 
-Connects the two workload consumers: the *numeric* engine replays
-:class:`repro.workloads.generator.ConversationScript` turn by turn, while
-the *discrete-event* serving simulator consumes
-:class:`repro.serving.simulator.Arrival` streams. This module converts
-between them so the same scripted traffic can drive both levels.
+Connects the workload consumers: the *numeric* engine replays
+:class:`repro.workloads.generator.ConversationScript` turn by turn, the
+*discrete-event* serving simulator consumes
+:class:`repro.serving.simulator.Arrival` streams, and the
+*continuous-batching runtime* (:mod:`repro.runtime`) replays whole
+multi-session traces live. This module converts between them so the same
+scripted traffic can drive every level — which is what makes the
+runtime-vs-sequential exactness property testable.
 """
 
 from __future__ import annotations
@@ -50,6 +53,69 @@ def script_to_arrivals(
             cached = context + int(budget)
             t += turn_gap_s
     return sorted(arrivals, key=lambda a: a.time)
+
+
+def submit_scripts_to_runtime(
+    runtime,
+    scripts: list[ConversationScript],
+    *,
+    start_offset_s: float = 1.0,
+    think_time_s: float = 30.0,
+) -> dict[int, list[int]]:
+    """Submit a multi-session trace to a continuous-batching runtime.
+
+    Conversations start staggered by ``start_offset_s``; follow-up turns
+    arrive ``think_time_s`` apart (and never before their predecessor
+    finishes — the runtime enforces the chain).
+
+    Args:
+        runtime: a :class:`repro.runtime.ContinuousBatchingRuntime`.
+        scripts: the scripted conversations (unique seq_ids).
+
+    Returns:
+        ``{seq_id: [request_id per turn]}`` for correlating the runtime's
+        records back to script turns.
+    """
+    if start_offset_s < 0 or think_time_s < 0:
+        raise ValueError("gaps must be non-negative")
+    rids: dict[int, list[int]] = {}
+    for conv_idx, script in enumerate(scripts):
+        rids[script.seq_id] = runtime.submit_script(
+            script,
+            arrival=start_offset_s * (conv_idx + 1),
+            think_time=think_time_s,
+        )
+    return rids
+
+
+def replay_scripts_sequential(make_engine, scripts: list[ConversationScript]) -> dict[int, list[list[int]]]:
+    """Ground-truth replay: each conversation alone on a fresh engine.
+
+    Runs every script through a dedicated
+    :class:`repro.serving.session.ChatSession` — the uninterrupted,
+    unbatched reference the runtime's continuous batching must match
+    token-for-token.
+
+    Args:
+        make_engine: zero-argument factory returning a fresh engine (fresh
+            per conversation so decode round-robin offsets start
+            identically).
+        scripts: the scripted conversations.
+
+    Returns:
+        ``{seq_id: [generated token ids per turn]}``.
+    """
+    from repro.serving.session import ChatSession
+
+    out: dict[int, list[list[int]]] = {}
+    for script in scripts:
+        session = ChatSession(make_engine(), script.seq_id)
+        turns = []
+        for prompt, budget in zip(script.prompts, script.response_budgets):
+            turns.append(list(session.send(prompt, max_new_tokens=int(budget)).generated))
+        out[script.seq_id] = turns
+        session.close()
+    return out
 
 
 def replay_script_numeric(engine, script: ConversationScript) -> list[dict]:

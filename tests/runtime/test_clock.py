@@ -1,0 +1,54 @@
+"""Tests for the runtime step clocks."""
+
+import pytest
+
+from repro.model.config import llama3_405b_config
+from repro.perf.hardware import gtt_host
+from repro.perf.latency import LatencySimulator
+from repro.runtime.clock import SimulatedStepClock, UnitStepClock
+
+
+class TestUnitStepClock:
+    def test_fixed_costs(self):
+        c = UnitStepClock(prefill_cost=2.0, decode_cost=0.5)
+        assert c.price_prefill([(16, 0), (16, 32)]) == 2.0
+        assert c.price_decode([100, 200]) == 0.5
+
+    def test_rejects_empty_rounds(self):
+        c = UnitStepClock()
+        with pytest.raises(ValueError):
+            c.price_prefill([])
+        with pytest.raises(ValueError):
+            c.price_decode([])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UnitStepClock(prefill_cost=0.0)
+
+
+class TestSimulatedStepClock:
+    def setup_method(self):
+        self.sim = LatencySimulator(llama3_405b_config(), gtt_host())
+        self.clock = SimulatedStepClock(self.sim, n_ranks=4)
+
+    def test_prefill_matches_latency_model(self):
+        got = self.clock.price_prefill([(4096, 0)])
+        want = self.sim.cp_prefill(4096, 0, n_ranks=4).total
+        assert got == pytest.approx(want)
+
+    def test_fused_round_priced_at_deepest_cache(self):
+        got = self.clock.price_prefill([(1024, 0), (1024, 65536)])
+        want = self.sim.cp_prefill(2048, 65536, n_ranks=4).total
+        assert got == pytest.approx(want)
+
+    def test_decode_paced_by_longest_context(self):
+        got = self.clock.price_decode([8192, 131072])
+        want = self.sim.cp_decode(131072, batch=2, n_ranks=4).total
+        assert got == pytest.approx(want)
+
+    def test_more_new_tokens_cost_more(self):
+        assert self.clock.price_prefill([(8192, 0)]) > self.clock.price_prefill([(1024, 0)])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedStepClock(self.sim, n_ranks=0)

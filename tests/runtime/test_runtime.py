@@ -1,0 +1,339 @@
+"""Tests for the continuous-batching serving runtime.
+
+Covers the per-request state machine, chunked prefill, decode
+interleaving, admission timing, capacity-pressure preemption with exact
+resume, idle-conversation eviction, and the streaming metrics. The
+full runtime-vs-sequential exactness property lives in
+``tests/properties/test_prop_runtime.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ContextParallelEngine
+from repro.model.config import tiny_config
+from repro.model.llama import LlamaModel
+from repro.runtime import (
+    ContinuousBatchingRuntime,
+    RequestState,
+    TurnRequest,
+    UnitStepClock,
+)
+from repro.serving.scheduler import ChunkedPrefillPolicy
+from repro.serving.session import ChatSession
+from repro.workloads.generator import WorkloadGenerator
+
+MODEL = LlamaModel(tiny_config(), seed=0)
+VOCAB = MODEL.config.vocab_size
+
+
+def make_runtime(*, world=2, capacity=None, chunk=16, round_budget=32, seqs=4, **kw):
+    engine = ContextParallelEngine(MODEL, world_size=world, capacity_tokens=capacity)
+    return ContinuousBatchingRuntime(
+        engine,
+        policy=ChunkedPrefillPolicy(
+            chunk_tokens=chunk, max_tokens_per_round=round_budget, max_seqs_per_round=seqs
+        ),
+        **kw,
+    )
+
+
+def prompt(n, seed=0):
+    return (np.arange(n) * 7 + seed) % VOCAB
+
+
+def sequential_tokens(prompt_ids, budget, *, world=2):
+    engine = ContextParallelEngine(LlamaModel(tiny_config(), seed=0), world_size=world)
+    return list(ChatSession(engine, 0).send(prompt_ids, max_new_tokens=budget).generated)
+
+
+class TestLifecycle:
+    def test_single_request_runs_to_completion(self):
+        rt = make_runtime()
+        rid = rt.submit(TurnRequest(request_id=-1, seq_id=0, prompt=prompt(40), max_new_tokens=5))
+        report = rt.run(max_steps=1000)
+        rec = report.records[rid]
+        assert rec.state is RequestState.FINISHED
+        assert len(rec.generated) == 5
+        assert rec.first_token_at is not None
+        assert rec.finished_at >= rec.first_token_at
+        # 40 tokens at chunk 16 => 3 prefill rounds; 5 decode rounds
+        assert report.prefill_rounds == 3
+        assert report.decode_rounds == 5
+
+    def test_tokens_match_sequential(self):
+        rt = make_runtime()
+        rid = rt.submit(TurnRequest(request_id=-1, seq_id=0, prompt=prompt(40), max_new_tokens=6))
+        report = rt.run(max_steps=1000)
+        assert report.generated(rid) == sequential_tokens(prompt(40), 6)
+
+    def test_zero_budget_turn_finishes_at_prefill(self):
+        rt = make_runtime()
+        rid = rt.submit(TurnRequest(request_id=-1, seq_id=0, prompt=prompt(8), max_new_tokens=0))
+        report = rt.run(max_steps=100)
+        rec = report.records[rid]
+        assert rec.state is RequestState.FINISHED
+        assert rec.generated == []
+        assert rec.first_token_at is None
+        assert report.decode_rounds == 0
+
+    def test_kv_released_after_last_turn(self):
+        rt = make_runtime()
+        rt.submit(TurnRequest(request_id=-1, seq_id=7, prompt=prompt(20), max_new_tokens=3))
+        rt.run(max_steps=1000)
+        assert rt.engine.context_length(7) == 0
+
+    def test_kv_kept_when_not_last_turn(self):
+        rt = make_runtime()
+        rt.submit(
+            TurnRequest(
+                request_id=-1, seq_id=7, prompt=prompt(20), max_new_tokens=3, last_turn=False
+            )
+        )
+        rt.run(max_steps=1000)
+        assert rt.engine.context_length(7) == 23
+
+    def test_step_false_when_idle(self):
+        rt = make_runtime()
+        assert rt.step() is False
+
+    def test_duplicate_request_id_rejected(self):
+        rt = make_runtime()
+        rt.submit(TurnRequest(request_id=3, seq_id=0, prompt=prompt(4), max_new_tokens=0))
+        with pytest.raises(ValueError):
+            rt.submit(TurnRequest(request_id=3, seq_id=1, prompt=prompt(4), max_new_tokens=0))
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            TurnRequest(request_id=0, seq_id=0, prompt=np.zeros(0), max_new_tokens=0)
+        with pytest.raises(ValueError):
+            TurnRequest(request_id=0, seq_id=0, prompt=prompt(4), max_new_tokens=-1)
+        with pytest.raises(ValueError):
+            TurnRequest(request_id=0, seq_id=0, prompt=prompt(4), max_new_tokens=0, arrival=-1.0)
+        with pytest.raises(ValueError):
+            ContinuousBatchingRuntime(
+                ContextParallelEngine(MODEL, world_size=2), max_prefill_rounds_per_decode=0
+            )
+
+
+class TestContinuousBatching:
+    def test_prefill_chunks_interleave_with_decode(self):
+        """While one long prompt prefills in chunks, an already-decoding
+        request keeps streaming tokens between the chunks."""
+        rt = make_runtime(chunk=8, round_budget=8)
+        short = rt.submit(TurnRequest(request_id=-1, seq_id=0, prompt=prompt(8), max_new_tokens=8))
+        long_ = rt.submit(
+            TurnRequest(request_id=-1, seq_id=1, prompt=prompt(64, seed=3), max_new_tokens=2)
+        )
+        report = rt.run(max_steps=1000)
+        short_rec, long_rec = report.records[short], report.records[long_]
+        # the short request finished its first token before the long
+        # prompt's prefill completed
+        assert short_rec.first_token_at < long_rec.first_token_at
+        # and its decode stream was not starved until the long prefill
+        # ended: its last token arrived before the long request's first
+        assert short_rec.token_times[-1] < long_rec.first_token_at
+
+    def test_fused_round_batches_multiple_prompts(self):
+        rt = make_runtime(chunk=16, round_budget=64)
+        for sid in range(4):
+            rt.submit(
+                TurnRequest(
+                    request_id=-1, seq_id=sid, prompt=prompt(16, seed=sid), max_new_tokens=0
+                )
+            )
+        report = rt.run(max_steps=100)
+        assert report.prefill_rounds == 1  # all four prompts fused
+
+    def test_decode_rounds_batch_all_decoders(self):
+        rt = make_runtime(chunk=32, round_budget=64)
+        for sid in range(3):
+            rt.submit(
+                TurnRequest(
+                    request_id=-1, seq_id=sid, prompt=prompt(8, seed=sid), max_new_tokens=4
+                )
+            )
+        report = rt.run(max_steps=1000)
+        # 1 fused prefill + 4 batched decode rounds (all sequences together)
+        assert report.decode_rounds == 4
+
+    def test_arrival_times_respected(self):
+        rt = make_runtime(clock=UnitStepClock())
+        early = rt.submit(
+            TurnRequest(request_id=-1, seq_id=0, prompt=prompt(8), max_new_tokens=1)
+        )
+        late = rt.submit(
+            TurnRequest(
+                request_id=-1, seq_id=1, prompt=prompt(8, seed=1), max_new_tokens=1,
+                arrival=50.0,
+            )
+        )
+        report = rt.run(max_steps=1000)
+        assert report.records[early].finished_at < 50.0
+        assert report.records[late].admitted_at >= 50.0
+
+    def test_turn_chain_waits_for_predecessor(self):
+        rt = make_runtime()
+        first = rt.submit(
+            TurnRequest(
+                request_id=-1, seq_id=0, prompt=prompt(24), max_new_tokens=4, last_turn=False
+            )
+        )
+        second = rt.submit(
+            TurnRequest(request_id=-1, seq_id=0, prompt=prompt(8, seed=2), max_new_tokens=2)
+        )
+        report = rt.run(max_steps=1000)
+        r1, r2 = report.records[first], report.records[second]
+        assert r1.finished_at <= r2.admitted_at
+        # the follow-up turn saw the whole first turn as cached context
+        assert r2.cached_at_start == 24 + 4
+
+    def test_multi_turn_matches_chat_session(self):
+        gen = WorkloadGenerator(VOCAB, seed=9)
+        script = gen.conversation(0, turns=3, first_prompt=30)
+        rt = make_runtime()
+        rids = rt.submit_script(script, think_time=3.0)
+        report = rt.run(max_steps=2000)
+
+        engine = ContextParallelEngine(LlamaModel(tiny_config(), seed=0), world_size=2)
+        session = ChatSession(engine, 0)
+        for rid, p, b in zip(rids, script.prompts, script.response_budgets):
+            assert report.generated(rid) == list(session.send(p, max_new_tokens=b).generated)
+
+
+class TestPreemption:
+    def test_capacity_pressure_preempts_and_stays_exact(self):
+        gen = WorkloadGenerator(VOCAB, seed=5)
+        scripts = [
+            gen.conversation(sid, turns=2, first_prompt=48, response_range=(4, 6))
+            for sid in range(4)
+        ]
+        rt = make_runtime(capacity=80)
+        rid_map = {s.seq_id: rt.submit_script(s, arrival=float(i)) for i, s in enumerate(scripts)}
+        report = rt.run(max_steps=100_000)
+        assert report.metrics.preemptions > 0
+        assert report.metrics.evicted_tokens > 0
+        for script in scripts:
+            engine = ContextParallelEngine(LlamaModel(tiny_config(), seed=0), world_size=2)
+            session = ChatSession(engine, script.seq_id)
+            for rid, p, b in zip(rid_map[script.seq_id], script.prompts, script.response_budgets):
+                assert report.generated(rid) == list(session.send(p, max_new_tokens=b).generated)
+
+    def test_forced_preemption_mid_decode_resumes_exactly(self):
+        rt = make_runtime()
+        rid = rt.submit(TurnRequest(request_id=-1, seq_id=0, prompt=prompt(40), max_new_tokens=8))
+        preempted = False
+        while rt.step():
+            rec = rt.report().records[rid]
+            if not preempted and rec.state is RequestState.DECODE and len(rec.generated) == 4:
+                rt.preempt(rid)
+                preempted = True
+                assert rt.engine.context_length(0) == 0
+        assert preempted
+        report = rt.report()
+        assert report.records[rid].preemptions == 1
+        assert report.metrics.preemptions == 1
+        assert report.generated(rid) == sequential_tokens(prompt(40), 8)
+
+    def test_forced_preemption_mid_prefill_resumes_exactly(self):
+        rt = make_runtime(chunk=8, round_budget=8)
+        rid = rt.submit(TurnRequest(request_id=-1, seq_id=0, prompt=prompt(40), max_new_tokens=4))
+        preempted = False
+        while rt.step():
+            rec = rt.report().records[rid]
+            if not preempted and rec.state is RequestState.PREFILL and rec.prefill_done >= 16:
+                rt.preempt(rid)
+                preempted = True
+        assert preempted
+        assert rt.report().generated(rid) == sequential_tokens(prompt(40), 4)
+
+    def test_preempt_requires_active_request(self):
+        rt = make_runtime()
+        rid = rt.submit(
+            TurnRequest(request_id=-1, seq_id=0, prompt=prompt(8), max_new_tokens=0, arrival=9.0)
+        )
+        with pytest.raises(ValueError):
+            rt.preempt(rid)  # still QUEUED
+
+    def test_idle_conversation_evicted_under_pressure(self):
+        """A conversation waiting between turns loses its KV before any
+        active request is preempted, and still resumes exactly."""
+        rt = make_runtime(capacity=64)
+        gen = WorkloadGenerator(VOCAB, seed=2)
+        script = gen.conversation(0, turns=2, first_prompt=30, response_range=(3, 3))
+        rids = rt.submit_script(script, think_time=500.0)  # long idle gap
+        crowd = rt.submit(
+            TurnRequest(
+                request_id=-1, seq_id=99, prompt=prompt(90, seed=4), max_new_tokens=2,
+                arrival=20.0,
+            )
+        )
+        report = rt.run(max_steps=100_000)
+        assert report.metrics.preemptions > 0
+        assert report.records[crowd].state is RequestState.FINISHED
+        engine = ContextParallelEngine(LlamaModel(tiny_config(), seed=0), world_size=2)
+        session = ChatSession(engine, 0)
+        for rid, p, b in zip(rids, script.prompts, script.response_budgets):
+            assert report.generated(rid) == list(session.send(p, max_new_tokens=b).generated)
+
+    def test_capacity_too_small_raises(self):
+        rt = make_runtime(capacity=16, chunk=8, round_budget=8)
+        rt.submit(TurnRequest(request_id=-1, seq_id=0, prompt=prompt(64), max_new_tokens=2))
+        with pytest.raises(RuntimeError, match="capacity"):
+            rt.run(max_steps=100_000)
+
+    def test_sole_decoder_yields_pool_to_older_request(self):
+        """Regression: when the only decoding request is the youngest KV
+        holder and an older request needs the space, the decoder is
+        preempted (and resumes exactly) instead of the runtime declaring
+        the pool exhausted — each conversation fits capacity alone."""
+        rt = make_runtime(world=1, capacity=96, chunk=8, round_budget=16)
+        old = rt.submit(
+            TurnRequest(request_id=-1, seq_id=0, prompt=prompt(80), max_new_tokens=4)
+        )
+        young = rt.submit(
+            TurnRequest(request_id=-1, seq_id=1, prompt=prompt(8, seed=1), max_new_tokens=40)
+        )
+        report = rt.run(max_steps=100_000)
+        assert report.metrics.preemptions > 0
+        assert report.generated(old) == sequential_tokens(prompt(80), 4, world=1)
+        assert report.generated(young) == sequential_tokens(prompt(8, seed=1), 40, world=1)
+
+
+class TestMetricsAndClock:
+    def test_unit_clock_timing(self):
+        rt = make_runtime(clock=UnitStepClock(prefill_cost=2.0, decode_cost=1.0))
+        rt.submit(TurnRequest(request_id=-1, seq_id=0, prompt=prompt(32), max_new_tokens=3))
+        report = rt.run(max_steps=1000)
+        # 2 prefill rounds * 2.0 + 3 decode rounds * 1.0
+        assert report.makespan == pytest.approx(7.0)
+        rec = next(iter(report.records.values()))
+        assert rec.first_token_at == pytest.approx(4.0)
+        assert rec.ttit_samples() == pytest.approx([1.0, 1.0])
+
+    def test_streaming_metrics_recorded(self):
+        rt = make_runtime()
+        rt.submit(TurnRequest(request_id=-1, seq_id=0, prompt=prompt(16), max_new_tokens=4))
+        report = rt.run(max_steps=1000)
+        m = report.metrics
+        assert len(m.ttft_samples) == 1
+        assert len(m.ttit_samples) == 3
+        assert m.total_generated_tokens == 4
+        assert report.tokens_per_second() > 0
+
+    def test_turn_records_carry_cache_state(self):
+        rt = make_runtime()
+        gen = WorkloadGenerator(VOCAB, seed=1)
+        rt.submit_script(gen.conversation(0, turns=2, first_prompt=20))
+        report = rt.run(max_steps=1000)
+        first, second = report.metrics.turns
+        assert first.cached_tokens == 0
+        assert second.cached_tokens > 0
+        assert 0 < second.miss_rate < 1
+
+    def test_state_counts(self):
+        rt = make_runtime()
+        rt.submit(TurnRequest(request_id=-1, seq_id=0, prompt=prompt(8), max_new_tokens=1))
+        assert rt.state_counts() == {"queued": 1}
+        rt.run(max_steps=100)
+        assert rt.state_counts() == {"finished": 1}

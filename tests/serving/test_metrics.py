@@ -1,5 +1,7 @@
 """Tests for serving metrics aggregation."""
 
+import math
+
 import pytest
 
 from repro.serving.metrics import ServingMetrics
@@ -41,19 +43,41 @@ class TestServingMetrics:
         assert m.percentile_ttft(50) == pytest.approx(2.0)
         assert m.percentile_ttit(100) == pytest.approx(0.03)
 
-    def test_percentiles_require_samples(self):
-        with pytest.raises(ValueError):
-            ServingMetrics().percentile_ttft(50)
-        with pytest.raises(ValueError):
-            ServingMetrics().percentile_ttit(50)
+    def test_empty_percentiles_are_nan(self):
+        assert math.isnan(ServingMetrics().percentile_ttft(50))
+        assert math.isnan(ServingMetrics().percentile_ttit(99))
+
+    def test_tail_percentiles(self):
+        m = ServingMetrics()
+        for t in range(1, 101):
+            m.record_turn(turn(10, 0), ttft=float(t))
+        assert m.percentile_ttft(95) == pytest.approx(95.05)
+        assert m.percentile_ttft(99) == pytest.approx(99.01)
+
+    def test_preemption_accounting(self):
+        m = ServingMetrics()
+        assert m.preemptions == 0 and m.evicted_tokens == 0
+        m.record_preemption(120)
+        m.record_preemption(8)
+        assert m.preemptions == 2
+        assert m.evicted_tokens == 128
+        assert "preemptions: 2 (128 KV tokens evicted)" in m.summary()
+
+    def test_record_ttit_stream(self):
+        m = ServingMetrics()
+        for gap in (0.01, 0.02, 0.03):
+            m.record_ttit(gap)
+        assert m.percentile_ttit(50) == pytest.approx(0.02)
 
     def test_summary_renders(self):
         m = ServingMetrics()
         m.record_turn(turn(10, 0), ttft=1.5, ttit=0.05)
         text = m.summary()
         assert "turns: 1" in text
-        assert "p50 TTFT" in text
-        assert "p50 TTIT" in text
+        assert "TTFT p50/p95/p99" in text
+        assert "TTIT p50/p95/p99" in text
 
     def test_empty_summary(self):
-        assert "turns: 0" in ServingMetrics().summary()
+        text = ServingMetrics().summary()
+        assert "turns: 0" in text
+        assert "TTFT" not in text

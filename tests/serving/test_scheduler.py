@@ -1,10 +1,10 @@
-"""Tests for the fused-batch scheduler."""
+"""Tests for the fused-batch scheduler and the chunked-prefill policy."""
 
 import numpy as np
 import pytest
 
 from repro.serving.request import PrefillRequest
-from repro.serving.scheduler import Scheduler
+from repro.serving.scheduler import ChunkAssignment, ChunkedPrefillPolicy, Scheduler
 
 
 def req(seq_id, n):
@@ -65,6 +65,87 @@ class TestScheduler:
         with pytest.raises(ValueError):
             Scheduler(max_tokens_per_batch=0)
         with pytest.raises(ValueError):
+            Scheduler(max_seqs_per_batch=0)
+        with pytest.raises(ValueError):
             PrefillRequest(seq_id=0, token_ids=np.zeros(0))
         with pytest.raises(ValueError):
             PrefillRequest(seq_id=0, token_ids=np.arange(3), max_new_tokens=-1)
+
+    def test_exact_budget_boundary(self):
+        """Requests that exactly exhaust the budget close the round; the
+        next request starts a fresh one (no off-by-one under-fill)."""
+        s = Scheduler(max_tokens_per_batch=30)
+        s.submit(req(0, 10))
+        s.submit(req(1, 20))
+        s.submit(req(2, 1))
+        first = s.next_batch()
+        assert first.seq_ids == [0, 1]
+        assert first.total_new_tokens == 30
+        assert s.next_batch().seq_ids == [2]
+
+    def test_one_over_budget_boundary(self):
+        """One token over the budget defers the request to the next round."""
+        s = Scheduler(max_tokens_per_batch=30)
+        s.submit(req(0, 10))
+        s.submit(req(1, 21))
+        assert s.next_batch().seq_ids == [0]
+        assert s.next_batch().seq_ids == [1]
+
+    def test_oversized_request_never_merges(self):
+        """An oversized request forms its own round even when later small
+        requests would still fit under the nominal budget."""
+        s = Scheduler(max_tokens_per_batch=8)
+        s.submit(req(0, 100))
+        s.submit(req(1, 2))
+        first = s.next_batch()
+        assert first.seq_ids == [0]
+        assert s.next_batch().seq_ids == [1]
+
+    def test_seq_cap_exactly_at_boundary(self):
+        s = Scheduler(max_tokens_per_batch=10_000, max_seqs_per_batch=3)
+        for i in range(3):
+            s.submit(req(i, 4))
+        assert s.next_batch().seq_ids == [0, 1, 2]
+        assert s.next_batch() is None
+
+
+class TestChunkedPrefillPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChunkedPrefillPolicy(chunk_tokens=0)
+        with pytest.raises(ValueError):
+            ChunkedPrefillPolicy(chunk_tokens=64, max_tokens_per_round=32)
+        with pytest.raises(ValueError):
+            ChunkedPrefillPolicy(max_seqs_per_round=0)
+        with pytest.raises(ValueError):
+            ChunkAssignment(seq_id=0, tokens=0)
+
+    def test_long_prompt_spreads_across_rounds(self):
+        p = ChunkedPrefillPolicy(chunk_tokens=16, max_tokens_per_round=16)
+        round_ = p.build_round([(0, 40)])
+        assert round_ == [ChunkAssignment(seq_id=0, tokens=16)]
+        # 16 + 16 + 8: the tail chunk shrinks to the remaining tokens
+        assert p.build_round([(0, 8)]) == [ChunkAssignment(seq_id=0, tokens=8)]
+
+    def test_round_fuses_chunks_up_to_budget(self):
+        p = ChunkedPrefillPolicy(chunk_tokens=16, max_tokens_per_round=40)
+        round_ = p.build_round([(0, 100), (1, 100), (2, 100)])
+        assert [(c.seq_id, c.tokens) for c in round_] == [(0, 16), (1, 16), (2, 8)]
+
+    def test_exact_budget_no_sliver(self):
+        p = ChunkedPrefillPolicy(chunk_tokens=16, max_tokens_per_round=32)
+        round_ = p.build_round([(0, 16), (1, 16), (2, 16)])
+        assert [(c.seq_id, c.tokens) for c in round_] == [(0, 16), (1, 16)]
+
+    def test_seq_cap(self):
+        p = ChunkedPrefillPolicy(chunk_tokens=4, max_tokens_per_round=1000, max_seqs_per_round=2)
+        round_ = p.build_round([(0, 9), (1, 9), (2, 9)])
+        assert [c.seq_id for c in round_] == [0, 1]
+
+    def test_skips_drained_entries(self):
+        p = ChunkedPrefillPolicy(chunk_tokens=8, max_tokens_per_round=32)
+        round_ = p.build_round([(0, 0), (1, 5)])
+        assert [(c.seq_id, c.tokens) for c in round_] == [(1, 5)]
+
+    def test_empty_pending(self):
+        assert ChunkedPrefillPolicy().build_round([]) == []

@@ -46,6 +46,15 @@ class TestCommands:
         assert main(["experiments", "--fast", "--only", "Table 2", "--markdown"]) == 0
         assert "### Table 2" in capsys.readouterr().out
 
+    def test_serve_verifies_exactness(self, capsys):
+        assert main([
+            "serve", "--sessions", "2", "--turns", "2", "--world", "2",
+            "--capacity", "80", "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "preemptions:" in out
+        assert "verify vs sequential replay: identical" in out
+
     def test_trace_writes_json(self, capsys, tmp_path):
         import json
 
