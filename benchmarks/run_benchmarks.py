@@ -100,6 +100,10 @@ def main(argv: list[str] | None = None) -> int:
     else:
         out_path = ROOT / "BENCH_kernels.json"
     out_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    if out_path == ROOT / "BENCH_kernels.json":
+        # a successful full run supersedes any smoke/subset scratch file;
+        # leaving it around would masquerade as a tracked record
+        (ROOT / "BENCH_kernels.partial.json").unlink(missing_ok=True)
 
     width = max(len(n) for n in record["benchmarks"]) if record["benchmarks"] else 0
     print(f"\nwrote {out_path}")

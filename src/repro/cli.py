@@ -12,8 +12,10 @@ Commands:
   and report the losslessness error.
 - ``serve`` — replay a multi-session trace through the continuous-batching
   runtime (chunked prefill + preemption under KV pressure) and report
-  streaming metrics; ``--verify`` bit-checks every decoded token against
-  sequential per-conversation replay.
+  streaming metrics; ``--disaggregate P:D`` splits it into a CP-P prefill
+  pool feeding a CP-D decode pool over a priced KV-transfer stream
+  (§4.3); ``--verify`` bit-checks every decoded token against sequential
+  per-conversation replay.
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ import numpy as np
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments import (
         capacity_scaling,
+        disagg_runtime,
         disaggregation,
         gqa_sensitivity,
         pp_vs_cp,
@@ -40,6 +43,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     results.append(disaggregation.run())
     results.append(pp_vs_cp.run())
     results.append(serving_load.run_runtime())
+    results.append(disagg_runtime.run())
     if not args.fast:
         results.append(serving_load.run())
     for res in results:
@@ -161,38 +165,94 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for sid in range(args.sessions)
     ]
     host = gti_host() if args.platform == "gti" else gtt_host()
-    engine = ContextParallelEngine(
-        model, world_size=args.world, capacity_tokens=args.capacity
+    sim = LatencySimulator(llama3_405b_config(), host)
+    pools = None
+    if args.disaggregate is not None:
+        try:
+            p, d = (int(x) for x in args.disaggregate.split(":"))
+            if p < 1 or d < 1:
+                raise ValueError
+        except ValueError:
+            print(
+                f"error: --disaggregate wants P:D with positive integers, "
+                f"got {args.disaggregate!r}",
+                file=sys.stderr,
+            )
+            return 2
+        pools = (p, d)
+    if args.decode_capacity is not None and pools is None:
+        print(
+            "error: --decode-capacity only applies with --disaggregate",
+            file=sys.stderr,
+        )
+        return 2
+    if args.world is not None and pools is not None:
+        print(
+            "error: --world conflicts with --disaggregate (pool sizes come "
+            "from P:D)",
+            file=sys.stderr,
+        )
+        return 2
+    world = args.world if args.world is not None else 2
+
+    policy = ChunkedPrefillPolicy(
+        chunk_tokens=args.chunk,
+        max_tokens_per_round=args.round_budget,
+        max_seqs_per_round=8,
     )
-    runtime = ContinuousBatchingRuntime(
-        engine,
-        policy=ChunkedPrefillPolicy(
-            chunk_tokens=args.chunk,
-            max_tokens_per_round=args.round_budget,
-            max_seqs_per_round=8,
-        ),
-        clock=SimulatedStepClock(
-            LatencySimulator(llama3_405b_config(), host), n_ranks=args.priced_ranks
-        ),
-    )
+    if pools is None:
+        engine = ContextParallelEngine(
+            model, world_size=world, capacity_tokens=args.capacity
+        )
+        runtime = ContinuousBatchingRuntime(
+            engine,
+            policy=policy,
+            clock=SimulatedStepClock(sim, n_ranks=args.priced_ranks),
+        )
+        deploy = f"CP{world}"
+    else:
+        decode_cap = args.decode_capacity if args.decode_capacity is not None else args.capacity
+        engine = ContextParallelEngine(
+            model, world_size=pools[0], capacity_tokens=args.capacity
+        )
+        decode_engine = ContextParallelEngine(
+            model, world_size=pools[1], capacity_tokens=decode_cap
+        )
+        # a dedicated decode pool streams at single-host TP TTIT (§4.3)
+        runtime = ContinuousBatchingRuntime(
+            engine,
+            decode_engine=decode_engine,
+            policy=policy,
+            clock=SimulatedStepClock(sim, n_ranks=args.priced_ranks, tp_decode=True),
+        )
+        deploy = f"CP{pools[0]} prefill -> CP{pools[1]} decode"
     rids = submit_scripts_to_runtime(runtime, scripts)
     report = runtime.run(max_steps=1_000_000)
 
     cap = "unbounded" if args.capacity is None else str(args.capacity)
     print(
-        f"served {args.sessions} sessions x {args.turns} turns on CP{args.world} "
+        f"served {args.sessions} sessions x {args.turns} turns on {deploy} "
         f"(KV capacity/rank: {cap}, chunk: {args.chunk}, "
         f"priced as 405B on CP{args.priced_ranks} {host.name})"
     )
     print(f"rounds: {report.prefill_rounds} prefill, {report.decode_rounds} decode")
     print(f"makespan: {report.makespan:.1f}s simulated, "
           f"{report.tokens_per_second():.2f} decoded tok/s")
+    if pools is not None:
+        util = report.pool_utilization()
+        print(
+            "pool utilization: "
+            + ", ".join(f"{pool}: {frac:.1%}" for pool, frac in util.items())
+        )
     print(report.metrics.summary())
 
     if not args.verify:
         return 0
     reference = replay_scripts_sequential(
-        lambda: ContextParallelEngine(LlamaModel(tiny_config(), seed=0), world_size=args.world),
+        lambda: ContextParallelEngine(
+            LlamaModel(tiny_config(), seed=0),
+            world_size=pools[0] if pools is not None else world,
+        ),
         scripts,
     )
     mismatches = 0
@@ -242,10 +302,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--sessions", type=int, default=4)
     p_serve.add_argument("--turns", type=int, default=2)
     p_serve.add_argument("--first-prompt", type=int, default=48)
-    p_serve.add_argument("--world", type=int, default=2)
+    p_serve.add_argument(
+        "--world", type=int, default=None,
+        help="colocated CP pool size (default 2; conflicts with --disaggregate)",
+    )
     p_serve.add_argument(
         "--capacity", type=int, default=None,
         help="per-rank KV token capacity (default unbounded; small values force preemption)",
+    )
+    p_serve.add_argument(
+        "--disaggregate", metavar="P:D", default=None,
+        help="split serving into a CP-P prefill pool feeding a CP-D decode "
+             "pool over a priced KV-transfer stream (default: colocated)",
+    )
+    p_serve.add_argument(
+        "--decode-capacity", type=int, default=None,
+        help="per-rank KV token capacity of the decode pool "
+             "(default: same as --capacity; only with --disaggregate)",
     )
     p_serve.add_argument("--chunk", type=int, default=16, help="prefill chunk tokens")
     p_serve.add_argument("--round-budget", type=int, default=32,

@@ -35,7 +35,7 @@ from repro.core.sharding import SequenceSpec, ShardedQueries, shard_sequences
 from repro.distributed.process_group import SimProcessGroup
 from repro.distributed.topology import ClusterTopology
 from repro.distributed.tracer import CommTracer
-from repro.kvcache.cache import RankKVCache
+from repro.kvcache.cache import CacheCapacityError, RankKVCache
 from repro.model.llama import LlamaModel
 
 
@@ -67,6 +67,41 @@ class DecodeOutput:
 
     logits: dict[int, np.ndarray]
     assignment: dict[int, int]
+
+
+@dataclass
+class KVExport:
+    """Position-ordered KV of one sequence, detached from any sharding.
+
+    Produced by :meth:`ContextParallelEngine.export_kv` and consumed by
+    :meth:`ContextParallelEngine.import_kv` — the payload of a
+    prefill-pool -> decode-pool transfer in the disaggregated serving
+    runtime (:mod:`repro.runtime.transfer`). Because every ring algorithm
+    is exact for *any* sharding, re-importing this data into an engine of
+    a different world size reproduces the source engine's logits.
+
+    Attributes:
+        seq_id: the exported sequence.
+        start_pos: first absolute position included (delta exports skip
+            positions the destination already holds).
+        positions: absolute positions, sorted ascending — always the
+            contiguous range ``[start_pos, start_pos + tokens)``.
+        layers: per-layer ``(k, v)`` arrays aligned with ``positions``.
+    """
+
+    seq_id: int
+    start_pos: int
+    positions: np.ndarray
+    layers: list[tuple[np.ndarray, np.ndarray]]
+
+    @property
+    def tokens(self) -> int:
+        return int(self.positions.size)
+
+    @property
+    def end_pos(self) -> int:
+        """Context length of the sequence after importing this export."""
+        return self.start_pos + self.tokens
 
 
 class ContextParallelEngine:
@@ -407,6 +442,121 @@ class ContextParallelEngine:
         return freed
 
     # ------------------------------------------------------------------ #
+    # KV export / import (disaggregated prefill -> decode transfer)
+    # ------------------------------------------------------------------ #
+
+    def export_kv(self, seq_id: int, *, start_pos: int = 0) -> KVExport:
+        """Extract ``seq_id``'s cached KV at positions ``>= start_pos``.
+
+        Gathers the sequence's K/V across every rank's cache and reorders
+        it by absolute position, producing a sharding-independent payload
+        a different engine (any world size) can :meth:`import_kv`. A
+        ``start_pos`` equal to the context length yields a valid
+        zero-token export.
+
+        Raises:
+            KeyError: unknown sequence.
+            ValueError: ``start_pos`` beyond the committed context, or a
+                non-contiguous cache (which would indicate corruption).
+        """
+        if seq_id not in self.seq_lengths:
+            raise KeyError(f"sequence {seq_id} has no cached context to export")
+        length = self.seq_lengths[seq_id]
+        if not 0 <= start_pos <= length:
+            raise ValueError(
+                f"start_pos {start_pos} outside committed context [0, {length}]"
+            )
+        cfg = self.model.config
+        n = length - start_pos
+        layers: list[tuple[np.ndarray, np.ndarray]] = []
+        positions = np.arange(start_pos, length, dtype=np.int64)
+        for layer in range(cfg.n_layers):
+            ks, vs, ps = [], [], []
+            for cache in self.caches:
+                shard = cache.get(layer, [seq_id])
+                keep = shard.positions >= start_pos
+                if not keep.any():
+                    continue
+                ks.append(shard.k[keep])
+                vs.append(shard.v[keep])
+                ps.append(shard.positions[keep])
+            if ps:
+                pos = np.concatenate(ps)
+                order = np.argsort(pos, kind="stable")
+                if not np.array_equal(pos[order], positions):
+                    raise ValueError(
+                        f"sequence {seq_id} layer {layer}: cached positions are "
+                        f"not the contiguous range [{start_pos}, {length})"
+                    )
+                k = np.concatenate(ks, axis=0)[order]
+                v = np.concatenate(vs, axis=0)[order]
+            else:
+                if n != 0:
+                    raise ValueError(
+                        f"sequence {seq_id} layer {layer}: no cached KV despite "
+                        f"context length {length}"
+                    )
+                k = np.zeros((0, cfg.n_kv_heads, cfg.head_dim))
+                v = np.zeros((0, cfg.n_kv_heads, cfg.head_dim))
+            layers.append((k, v))
+        return KVExport(seq_id=seq_id, start_pos=start_pos, positions=positions, layers=layers)
+
+    def import_kv(self, export: KVExport) -> None:
+        """Append an exported KV payload to this engine's caches.
+
+        The payload's positions must start exactly where this engine's
+        committed context for the sequence ends (delta import). Tokens are
+        placed with the same load-balanced sharding a prefill of the same
+        ``(new, cached)`` shape would use, so
+        :meth:`prefill_token_demand` doubles as the admission predicate
+        (check :meth:`fits` before importing).
+
+        Raises:
+            ValueError: position mismatch or wrong layer count.
+            repro.kvcache.cache.CacheCapacityError: destination pool full
+                (raised before any cache is touched — the engine is left
+                unchanged, so the caller can free blocks and retry).
+        """
+        cfg = self.model.config
+        sid = export.seq_id
+        cached = self.seq_lengths.get(sid, 0)
+        if export.start_pos != cached:
+            raise ValueError(
+                f"sequence {sid}: import starts at {export.start_pos} but this "
+                f"engine holds {cached} tokens"
+            )
+        if len(export.layers) != cfg.n_layers:
+            raise ValueError(
+                f"export has {len(export.layers)} layers, engine expects {cfg.n_layers}"
+            )
+        if export.tokens == 0:
+            return
+        spec = SequenceSpec(sid, export.tokens, cached)
+        if not self.fits(self.prefill_token_demand([spec])):
+            # checked up-front so a full pool can never leave some ranks
+            # mutated: the raise below happens before any cache append
+            raise CacheCapacityError(
+                f"sequence {sid}: import of {export.tokens} tokens does not "
+                "fit this engine's KV pools"
+            )
+        shards = shard_sequences([spec], self.world_size)
+        for rank, (positions, _seq_ids) in enumerate(shards):
+            if positions.size == 0:
+                continue
+            rows = positions - export.start_pos
+            for layer in range(cfg.n_layers):
+                k, v = export.layers[layer]
+                self.caches[rank].append(layer, sid, k[rows], v[rows], positions)
+        self.seq_lengths[sid] = export.end_pos
+
+    def import_token_demand(self, seq_id: int, tokens: int) -> list[dict[int, int]]:
+        """Per-rank KV demand an :meth:`import_kv` of ``tokens`` would add."""
+        if tokens == 0:
+            return [{} for _ in range(self.world_size)]
+        spec = SequenceSpec(seq_id, tokens, self.context_length(seq_id))
+        return self.prefill_token_demand([spec])
+
+    # ------------------------------------------------------------------ #
     # capacity queries (serving-runtime admission control)
     # ------------------------------------------------------------------ #
 
@@ -452,6 +602,16 @@ class ContextParallelEngine:
     def cached_tokens(self, seq_id: int) -> list[int]:
         """Per-rank cached token counts for ``seq_id`` (balance diagnostics)."""
         return [cache.tokens(seq_id) for cache in self.caches]
+
+    def kv_utilization(self) -> float | None:
+        """Mean claimed fraction of the per-rank KV block pools
+        (``None`` when any rank is unbounded). Block-granular, so it
+        reflects allocatable pressure; the serving runtime samples it
+        after every round for its peak-occupancy metric."""
+        utils = [cache.utilization() for cache in self.caches]
+        if any(u is None for u in utils):
+            return None
+        return sum(utils) / len(utils) if utils else 0.0
 
     def context_length(self, seq_id: int) -> int:
         """Committed context length of ``seq_id``."""

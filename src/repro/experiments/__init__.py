@@ -20,6 +20,9 @@ Index (paper -> module):
 - Figure 10 -> :mod:`repro.experiments.fig10_heuristic`
 - Ablations -> :mod:`repro.experiments.ablation_sharding`,
   :mod:`repro.experiments.ablation_allgather`
+- §4.3 disaggregation (analytic) -> :mod:`repro.experiments.disaggregation`
+- §4.3 disaggregation (measured runtime vs simulator prediction) ->
+  :mod:`repro.experiments.disagg_runtime`
 """
 
 from repro.experiments.base import ExperimentResult

@@ -190,6 +190,12 @@ class RankKVCache:
             return None
         return self._allocator.free_tokens()
 
+    def utilization(self) -> float | None:
+        """Claimed fraction of this rank's block pool (``None`` = unbounded)."""
+        if self._allocator is None:
+            return None
+        return self._allocator.utilization()
+
     def sequence_ids(self, layer: int = 0) -> list[int]:
         return sorted({sid for (lyr, sid) in self._streams if lyr == layer})
 

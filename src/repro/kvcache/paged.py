@@ -69,6 +69,17 @@ class PagedAllocator:
         """Tokens currently stored under ``key``."""
         return self._fill.get(key, 0)
 
+    def utilization(self) -> float:
+        """Fraction of the pool's token capacity in use (block-granular).
+
+        Counts whole claimed blocks, not just their filled tokens, so this
+        reflects allocatable pressure — the quantity the serving runtime's
+        peak-KV-occupancy metric samples after every round.
+        """
+        if self.num_blocks == 0:
+            return 0.0
+        return self.used_blocks / self.num_blocks
+
     def append(self, key: tuple, n_tokens: int) -> None:
         """Account for appending ``n_tokens`` to stream ``key``.
 

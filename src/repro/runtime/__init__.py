@@ -1,26 +1,33 @@
-"""Continuous-batching serving runtime for the numeric CP engine.
+"""Continuous-batching serving runtime for the numeric CP engine(s).
 
 This package turns the reproduction's layers into one live system
 (paper §3.3/§4.3 made executable): the per-request state machine
 (:mod:`repro.runtime.state`), simulated step-time pricing
-(:mod:`repro.runtime.clock`), and the event loop itself
+(:mod:`repro.runtime.clock`), the prefill->decode KV channel
+(:mod:`repro.runtime.transfer`), and the event loop itself
 (:mod:`repro.runtime.runtime`) — chunked prefill fused across requests,
 batched decode interleaving, admission control and capacity-pressure
 preemption against the paged KV allocator, with exact re-prefill on
-resume. Decoded tokens are identical to replaying every conversation
-sequentially; only placement and (simulated) timing change.
+resume. One engine gives the colocated deployment; a second engine turns
+it into the disaggregated prefill/decode pools of §4.3, connected by a
+priced, serialized KV-transfer stream. Decoded tokens are identical to
+replaying every conversation sequentially; only placement and
+(simulated) timing change.
 """
 
 from repro.runtime.clock import SimulatedStepClock, UnitStepClock
 from repro.runtime.runtime import ContinuousBatchingRuntime, RuntimeReport
 from repro.runtime.state import RequestRecord, RequestState, TurnRequest
+from repro.runtime.transfer import KVTransferStream, Transfer
 
 __all__ = [
     "ContinuousBatchingRuntime",
+    "KVTransferStream",
     "RequestRecord",
     "RequestState",
     "RuntimeReport",
     "SimulatedStepClock",
+    "Transfer",
     "TurnRequest",
     "UnitStepClock",
 ]

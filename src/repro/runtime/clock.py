@@ -22,7 +22,13 @@ Pricing conventions (documented approximations):
   cached context ``max(P_i)`` — the same max-pacing convention the
   discrete-event simulator uses for decode rounds.
 - A decode round is priced at the batched CP decode TTIT of the longest
-  context in the batch.
+  context in the batch (or single-host TP TTIT when the clock prices a
+  dedicated decode pool, §4.3).
+- A pool-to-pool KV transfer of ``n`` tokens is priced at full-stream
+  bandwidth cost (``n * kv_bytes_per_token / ring_bandwidth`` for the
+  calibrated clock); the disaggregated runtime overlaps it with compute
+  explicitly instead of the analytic model's ``1/n_layers`` exposure
+  approximation.
 """
 
 from __future__ import annotations
@@ -36,13 +42,24 @@ class UnitStepClock:
     Args:
         prefill_cost: simulated seconds per prefill round.
         decode_cost: simulated seconds per decode round.
+        transfer_cost: simulated seconds per (non-empty) pool-to-pool KV
+            transfer; zero-token transfers are free.
     """
 
-    def __init__(self, *, prefill_cost: float = 1.0, decode_cost: float = 1.0):
+    def __init__(
+        self,
+        *,
+        prefill_cost: float = 1.0,
+        decode_cost: float = 1.0,
+        transfer_cost: float = 1.0,
+    ):
         if prefill_cost <= 0 or decode_cost <= 0:
             raise ValueError("round costs must be > 0")
+        if transfer_cost < 0:
+            raise ValueError("transfer_cost must be >= 0")
         self.prefill_cost = prefill_cost
         self.decode_cost = decode_cost
+        self.transfer_cost = transfer_cost
 
     def price_prefill(self, chunks: list[tuple[int, int]]) -> float:
         """Cost of one fused prefill round of ``[(T_i, P_i), ...]`` chunks."""
@@ -56,6 +73,12 @@ class UnitStepClock:
             raise ValueError("cannot price an empty decode round")
         return self.decode_cost
 
+    def price_transfer(self, tokens: int) -> float:
+        """Cost of streaming ``tokens`` of KV between pools."""
+        if tokens < 0:
+            raise ValueError(f"tokens must be >= 0, got {tokens}")
+        return self.transfer_cost if tokens else 0.0
+
 
 class SimulatedStepClock:
     """Calibrated pricing through the analytic latency model.
@@ -65,13 +88,17 @@ class SimulatedStepClock:
         n_ranks: CP pool size the prices assume (need not equal the
             numeric engine's world size — numerics run at test scale, the
             clock prices the modeled production deployment).
+        tp_decode: price decode rounds at single-host TP TTIT instead of
+            CP — what a dedicated decode host delivers in the
+            disaggregated architecture (§4.3 / DistServe / Mooncake).
     """
 
-    def __init__(self, sim: LatencySimulator, *, n_ranks: int):
+    def __init__(self, sim: LatencySimulator, *, n_ranks: int, tp_decode: bool = False):
         if n_ranks < 1:
             raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
         self.sim = sim
         self.n_ranks = n_ranks
+        self.tp_decode = tp_decode
 
     def price_prefill(self, chunks: list[tuple[int, int]]) -> float:
         if not chunks:
@@ -83,6 +110,15 @@ class SimulatedStepClock:
     def price_decode(self, contexts: list[int]) -> float:
         if not contexts:
             raise ValueError("cannot price an empty decode round")
+        if self.tp_decode:
+            return self.sim.tp_decode(max(contexts), batch=len(contexts), n_nodes=1).total
         return self.sim.cp_decode(
             max(contexts), batch=len(contexts), n_ranks=self.n_ranks
         ).total
+
+    def price_transfer(self, tokens: int) -> float:
+        """Full-stream KV transfer cost at calibrated ring bandwidth."""
+        if tokens < 0:
+            raise ValueError(f"tokens must be >= 0, got {tokens}")
+        bytes_ = tokens * self.sim.config.kv_bytes_per_token(self.sim.element_bytes)
+        return bytes_ / self.sim.host.ring_bandwidth

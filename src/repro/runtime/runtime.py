@@ -1,13 +1,33 @@
-"""Continuous-batching serving runtime over the numeric CP engine.
+"""Continuous-batching serving runtime over the numeric CP engine(s).
 
-:class:`ContinuousBatchingRuntime` is the first subsystem where every layer
-of the reproduction executes together under live traffic: the
+:class:`ContinuousBatchingRuntime` is the subsystem where every layer of
+the reproduction executes together under live traffic: the
 :class:`repro.core.engine.ContextParallelEngine` produces numerically exact
 logits, the :class:`repro.serving.scheduler.ChunkedPrefillPolicy` packs
 budget-bounded prefill chunks, the paged KV allocator enforces per-rank
 capacity, the planner's pass-KV/pass-Q heuristic fires per chunk, and the
 :mod:`repro.runtime.clock` prices every engine round in simulated seconds
 for streaming TTFT/TTIT metrics.
+
+The runtime executes in one of two deployment shapes:
+
+- **Colocated** (default, one engine): the paper's standalone deployment.
+  Prefill rounds and decode rounds contend for the same pool, so chunked
+  prefill (§3.3's partial-prefill machinery repurposed as a scheduling
+  primitive) is what keeps long prompts from starving decode — at most
+  ``max_prefill_rounds_per_decode`` prefill rounds run between batched
+  decode rounds, and every decoded token still pays prefill interference.
+- **Disaggregated** (``decode_engine`` given): the architecture the paper
+  closes on (§4.3, citing DistServe and Mooncake) made executable. A
+  *prefill pool* runs chunked prefill only; a *decode pool* with its own
+  paged-KV capacity runs decode rounds only; a serialized
+  :class:`repro.runtime.transfer.KVTransferStream` moves each finished
+  prompt's committed KV blocks between them, priced by the clock's
+  bandwidth model and overlapped with compute on both sides. Each pool
+  advances its own simulated clock, so decode TTIT is interference-free —
+  the measurable claim the analytic
+  :class:`repro.serving.simulator.ClusterServingSimulator` predicts and
+  the "Disaggregated runtime" experiment checks.
 
 Scheduling model (event-driven, deterministic):
 
@@ -17,24 +37,38 @@ Scheduling model (event-driven, deterministic):
   previous chunks committed, so a long prompt never monopolizes the
   engine and the heuristic can flip to pass-Q as the chunk-local
   cache-hit rate climbs.
-- **Decode interleaving**: when requests are decoding, at most
-  ``max_prefill_rounds_per_decode`` prefill rounds run between batched
-  decode rounds (all decoding sequences advance one token per round).
+- **Decode interleaving** (colocated): when requests are decoding, at
+  most ``max_prefill_rounds_per_decode`` prefill rounds run between
+  batched decode rounds. Disaggregated pools do not interleave — they run
+  concurrently, and the event loop simply advances whichever pool's clock
+  is behind.
+- **KV transfer** (disaggregated): when a turn's last prefill chunk
+  commits, its first token streams immediately from the prefill pool's
+  logits (TTFT does not wait for the wire); the request then sits in
+  ``KV_TRANSFER`` until the channel delivers its KV delta and the decode
+  pool admits it. Conversations *reside* in the decode pool between
+  turns; follow-up turns re-prefill their full committed history on the
+  prefill pool (exact recompute) and ship only the positions the decode
+  pool does not already hold.
 - **Admission & preemption**: before any round, its exact per-rank KV
   token demand (from the engine's load-balanced sharding) is checked
-  against the paged pools. Under pressure the runtime evicts, in order:
-  idle conversations (between turns), then the *youngest* active request
-  — never one older than any beneficiary of the round, so admission stays
-  FCFS. A preempted request loses all cached KV and later re-prefills its
-  full committed history in chunks; because the algorithms are exact for
-  any sharding and chunking, the resumed request's tokens are identical
-  to an uninterrupted run (pinned by property tests).
+  against that pool's paged allocator. Under pressure a pool evicts, in
+  order: idle conversations (between turns), then the *youngest* active
+  request — never one older than any beneficiary of the round, so
+  admission stays FCFS. A transfer landing is admission-checked the same
+  way and is *refused* (left on the wire, retried) when the decode pool
+  cannot make room. A preempted request loses the evicting pool's cache
+  and later re-prefills its full committed history in chunks; a request
+  evicted mid-transfer has its transfer cancelled (channel time is not
+  refunded). Because the algorithms are exact for any sharding and
+  chunking, the resumed request's tokens are identical to an
+  uninterrupted run (pinned by property tests).
 
 Exactness contract: for greedy decoding, the per-request token streams are
 identical to replaying each conversation sequentially through
 :class:`repro.serving.session.ChatSession` on a dedicated engine —
-continuous batching, chunking and preemption change *placement and
-timing*, never values.
+continuous batching, chunking, preemption, pool splits and transfer
+schedules change *placement and timing*, never values.
 """
 
 from __future__ import annotations
@@ -49,13 +83,18 @@ from repro.core.sharding import SequenceSpec
 from repro.model.sampling import sample_greedy
 from repro.runtime.clock import UnitStepClock
 from repro.runtime.state import RequestRecord, RequestState, TurnRequest
+from repro.runtime.transfer import KVTransferStream
 from repro.serving.metrics import ServingMetrics
 from repro.serving.request import TurnRecord
 from repro.serving.scheduler import ChunkAssignment, ChunkedPrefillPolicy
 from repro.workloads.generator import ConversationScript
 
 #: States in which a request occupies (or is about to occupy) engine KV.
-_ACTIVE_STATES = (RequestState.PREFILL, RequestState.DECODE)
+_ACTIVE_STATES = (RequestState.PREFILL, RequestState.KV_TRANSFER, RequestState.DECODE)
+
+#: Pool names (metrics keys and internal routing).
+POOL_PREFILL = "prefill"
+POOL_DECODE = "decode"
 
 
 @dataclass
@@ -72,8 +111,9 @@ class RuntimeReport:
     Attributes:
         records: every submitted request's record, by request id.
         metrics: rolled-up serving metrics (turns, TTFT/TTIT percentiles,
-            preemption/eviction counters).
-        makespan: simulated seconds from 0 to the last round's end.
+            preemption/eviction and KV-transfer counters).
+        makespan: simulated seconds from 0 to the last round's end
+            (the later of the two pool clocks when disaggregated).
         prefill_rounds / decode_rounds: executed engine rounds by kind.
     """
 
@@ -94,41 +134,74 @@ class RuntimeReport:
     def generated(self, request_id: int) -> list[int]:
         return list(self.records[request_id].generated)
 
+    def pool_utilization(self) -> dict[str, float]:
+        """Busy fraction per pool over the makespan."""
+        return {
+            pool: self.metrics.pool_utilization(pool, self.makespan)
+            for pool in sorted(self.metrics.pool_busy_s)
+        }
+
 
 class ContinuousBatchingRuntime:
-    """Event-driven continuous batching over one CP engine.
+    """Event-driven continuous batching over one or two CP engine pools.
 
     Args:
-        engine: the numeric engine (its ``capacity_tokens`` is the KV
-            pressure source; unbounded engines never preempt).
+        engine: the numeric engine running prefill rounds (and, when no
+            ``decode_engine`` is given, decode rounds too — the colocated
+            deployment). Its ``capacity_tokens`` is the prefill pool's KV
+            pressure source; unbounded engines never preempt.
+        decode_engine: optional second engine (any world size) that turns
+            the runtime into a disaggregated prefill/decode deployment:
+            decode rounds run here against this pool's own paged-KV
+            capacity, fed by a KV-transfer stream. Must share the prefill
+            engine's model weights.
         policy: chunked-prefill round packing (default 512-token chunks,
             test scale).
-        clock: round pricer (default :class:`UnitStepClock`).
+        clock: round pricer (default :class:`UnitStepClock`); also prices
+            KV transfers when disaggregated.
+        transfer_stream: override the KV channel (defaults to a
+            :class:`KVTransferStream` on ``clock``); ignored colocated.
         max_prefill_rounds_per_decode: prefill rounds allowed between
             decode rounds while any request is decoding (>= 1). Higher
-            values favour TTFT over TTIT.
+            values favour TTFT over TTIT. Only meaningful colocated —
+            disaggregated pools never contend.
     """
 
     def __init__(
         self,
         engine: ContextParallelEngine,
         *,
+        decode_engine: ContextParallelEngine | None = None,
         policy: ChunkedPrefillPolicy | None = None,
         clock=None,
+        transfer_stream: KVTransferStream | None = None,
         max_prefill_rounds_per_decode: int = 1,
     ):
         if max_prefill_rounds_per_decode < 1:
             raise ValueError(
                 f"max_prefill_rounds_per_decode must be >= 1, got {max_prefill_rounds_per_decode}"
             )
+        if decode_engine is not None and decode_engine.model is not engine.model:
+            raise ValueError(
+                "disaggregated pools must share model weights: pass the same "
+                "LlamaModel instance to both engines"
+            )
         self.engine = engine
+        self.decode_engine = decode_engine if decode_engine is not None else engine
+        self.disaggregated = self.decode_engine is not engine
         self.policy = policy if policy is not None else ChunkedPrefillPolicy(
             chunk_tokens=512, max_tokens_per_round=2048, max_seqs_per_round=8
         )
         self.clock = clock if clock is not None else UnitStepClock()
+        self.transfer_stream = (
+            (transfer_stream if transfer_stream is not None else KVTransferStream(self.clock))
+            if self.disaggregated
+            else None
+        )
         self.max_prefill_rounds_per_decode = max_prefill_rounds_per_decode
 
-        self.now = 0.0
+        self._t_prefill = 0.0
+        self._t_decode = 0.0
         self.metrics = ServingMetrics()
         self.prefill_rounds = 0
         self.decode_rounds = 0
@@ -144,7 +217,15 @@ class ContinuousBatchingRuntime:
         self._live: set[int] = set()  # rids not yet FINISHED
         self._decoding: set[int] = set()  # rids in DECODE state
         self._waiting: set[int] = set()  # seq_ids whose chain head is QUEUED
-        self._kv_holders: set[int] = set()  # seq_ids with tokens in engine KV
+        # seq_ids with tokens in each pool's KV; colocated mode aliases the
+        # two names to ONE set (a single pool holds everything)
+        self._holders_prefill: set[int] = set()
+        self._holders_decode: set[int] = self._holders_prefill if not self.disaggregated else set()
+
+    @property
+    def now(self) -> float:
+        """Simulated time: the later of the pool clocks (equal colocated)."""
+        return max(self._t_prefill, self._t_decode)
 
     # ------------------------------------------------------------------ #
     # submission
@@ -216,15 +297,17 @@ class ContinuousBatchingRuntime:
         return self.report()
 
     def step(self) -> bool:
-        """Execute one engine round (or advance the clock to the next
-        arrival). Returns ``True`` while unfinished requests remain."""
+        """Execute one engine round (or advance a clock to the next
+        event). Returns ``True`` while unfinished requests remain."""
         if not self._any_live():
             return False
+        if self.disaggregated:
+            return self._step_disaggregated()
         self._admit()
         if not self._prefill_queue and not self._decoders():
             nxt = self._next_arrival()
             assert nxt is not None, "live requests but nothing runnable or arriving"
-            self.now = max(self.now, nxt)
+            self._t_prefill = self._t_decode = max(self.now, nxt)
             self._admit()
 
         decoders = self._decoders()
@@ -248,6 +331,85 @@ class ContinuousBatchingRuntime:
             self._prefill_streak = 0
         return self._any_live()
 
+    def _step_disaggregated(self) -> bool:
+        """One scheduling decision across the two pools.
+
+        Each pool has its own clock; a step lands due transfers, wakes an
+        idle pool up to its next enabling event, then runs one round on
+        whichever runnable pool is further behind in simulated time (ties
+        go to prefill). The decode pool's idle time spent waiting for KV
+        on the wire is recorded as transfer stall.
+        """
+        progressed = self._land_transfers()
+        self._admit()
+        if not self._ready_prefill_entries():
+            nxt = self._next_prefill_event()
+            if nxt is not None:
+                # running decodes / in-flight transfers may still create
+                # *earlier* prefill work (follow-up turns, evictions), so
+                # an idle prefill clock may only catch up to the decode
+                # clock — never jump past it — until pool B drains too
+                if self._decoding or self.transfer_stream.in_flight():
+                    nxt = min(nxt, self._t_decode)
+                if nxt > self._t_prefill:
+                    self._t_prefill = nxt
+                    self._admit()
+                    progressed = True
+        if not self._decoding and self._advance_decode_to_wire():
+            progressed = True
+
+        ready = self._ready_prefill_entries()
+        decoders = self._decoders()
+        if ready and (not decoders or self._t_prefill <= self._t_decode):
+            if self._prefill_round():
+                return self._any_live()
+            decoders = self._decoders()  # fit loop may have preempted some
+            if not decoders:
+                # only landings can free the prefill pool now: walk the
+                # wire finish by finish (a refused payload must not mask a
+                # later one whose landing releases prefill-side blocks)
+                while True:
+                    if self._land_transfers():
+                        return self._any_live()
+                    if not self._advance_decode_to_wire():
+                        break
+                rid = ready[0][1]
+                raise RuntimeError(
+                    f"prefill-pool KV capacity exhausted: request {rid} cannot "
+                    "prefill even one token after evicting every eligible victim"
+                )
+        if decoders:
+            self._decode_round(decoders)
+            return self._any_live()
+        if not progressed and not ready:
+            raise RuntimeError(
+                "runtime stalled: live requests but no runnable rounds, "
+                "arrivals, or admissible KV transfers (decode pool too small "
+                "for an in-flight context?)"
+            )
+        return self._any_live()
+
+    def _advance_decode_to_wire(self) -> bool:
+        """Jump the idle decode clock to the next transfer arrival.
+
+        Only the wire-bound share of the jump counts as transfer stall:
+        idle time that elapsed before the payload even started streaming
+        (think time, prefill) is the workload's, not the channel's.
+        """
+        pending = [
+            t for t in self.transfer_stream.in_flight() if t.finish > self._t_decode
+        ]
+        if not pending:
+            return False
+        # target the earliest finish still ahead of the clock, so a due
+        # payload the pool keeps refusing never blocks reaching later ones
+        nxt = min(pending, key=lambda t: (t.finish, t.request_id))
+        stall = nxt.finish - max(self._t_decode, nxt.start)
+        if stall > 0:
+            self.metrics.record_transfer_stall(stall)
+        self._t_decode = nxt.finish
+        return True
+
     def report(self) -> RuntimeReport:
         """Current :class:`RuntimeReport` (a live view; see its docs)."""
         return RuntimeReport(
@@ -259,6 +421,26 @@ class ContinuousBatchingRuntime:
         )
 
     # ------------------------------------------------------------------ #
+    # pool routing
+    # ------------------------------------------------------------------ #
+
+    def _pool_engine(self, pool: str) -> ContextParallelEngine:
+        return self.engine if pool == POOL_PREFILL else self.decode_engine
+
+    def _pool_holders(self, pool: str) -> set[int]:
+        return self._holders_prefill if pool == POOL_PREFILL else self._holders_decode
+
+    def _pool_of(self, rec: RequestRecord) -> str:
+        """Which pool holds an active request's KV."""
+        return POOL_DECODE if rec.state is RequestState.DECODE else POOL_PREFILL
+
+    def _note_kv_occupancy(self, pool: str) -> None:
+        """Sample a pool's claimed KV fraction for the peak metric."""
+        frac = self._pool_engine(pool).kv_utilization()
+        if frac is not None:
+            self.metrics.record_kv_occupancy(pool, frac)
+
+    # ------------------------------------------------------------------ #
     # admission
     # ------------------------------------------------------------------ #
 
@@ -266,23 +448,54 @@ class ContinuousBatchingRuntime:
         """Move eligible chain-head turns into the prefill FIFO."""
         for seq_id in sorted(self._waiting):
             rec = self._records[self._chains[seq_id][0]]
-            if rec.request.arrival > self.now:
+            if rec.request.arrival > self._t_prefill:
                 continue
             self._waiting.discard(seq_id)
             rec.state = RequestState.PREFILL
-            rec.admitted_at = self.now
-            rec.cached_at_start = self.engine.context_length(seq_id)
-            if rec.cached_at_start == 0 and self._turn_history[seq_id]:
-                # the idle conversation was evicted between turns: fold the
-                # full committed history back into this turn's prefill
-                rec.pending_input = np.asarray(
-                    self._turn_history[seq_id] + list(rec.request.prompt), dtype=np.int64
-                )
+            rec.ready_at = max(rec.ready_at, rec.request.arrival)
+            rec.admitted_at = max(self._t_prefill, rec.ready_at)
+            if self.disaggregated:
+                # conversations reside in the decode pool; the prefill pool
+                # recomputes the full committed history each turn and ships
+                # only the positions the decode pool lacks
+                rec.cached_at_start = self.decode_engine.context_length(seq_id)
+                if self._turn_history[seq_id]:
+                    rec.pending_input = np.asarray(
+                        self._turn_history[seq_id] + list(rec.request.prompt),
+                        dtype=np.int64,
+                    )
+            else:
+                rec.cached_at_start = self.engine.context_length(seq_id)
+                if rec.cached_at_start == 0 and self._turn_history[seq_id]:
+                    # the idle conversation was evicted between turns: fold the
+                    # full committed history back into this turn's prefill
+                    rec.pending_input = np.asarray(
+                        self._turn_history[seq_id] + list(rec.request.prompt),
+                        dtype=np.int64,
+                    )
             self._enqueue_prefill(rec)
 
     def _enqueue_prefill(self, rec: RequestRecord) -> None:
         key = (rec.request.arrival, rec.request_id)
         bisect.insort(self._prefill_queue, (key, rec.request_id))
+
+    def _ready_prefill_entries(self) -> list[tuple[tuple[float, int], int]]:
+        """FIFO entries allowed to occupy a prefill round at the current
+        prefill-pool time (``ready_at`` keeps pool clocks causal)."""
+        return [
+            (key, rid)
+            for key, rid in self._prefill_queue
+            if self._records[rid].ready_at <= self._t_prefill
+        ]
+
+    def _next_prefill_event(self) -> float | None:
+        """Earliest time the prefill pool gains runnable work."""
+        times = []
+        for seq_id in self._waiting:
+            head = self._records[self._chains[seq_id][0]]
+            times.append(max(head.request.arrival, head.ready_at))
+        times.extend(self._records[rid].ready_at for _key, rid in self._prefill_queue)
+        return min(times) if times else None
 
     # ------------------------------------------------------------------ #
     # prefill rounds
@@ -295,9 +508,10 @@ class ContinuousBatchingRuntime:
         fits after exhausting every eligible victim (the caller decides
         whether decoding can make progress instead).
         """
-        by_seq = {self._records[rid].seq_id: self._records[rid] for _, rid in self._prefill_queue}
+        entries = self._ready_prefill_entries()
+        by_seq = {self._records[rid].seq_id: self._records[rid] for _, rid in entries}
         pending = []
-        for _, rid in self._prefill_queue:
+        for _, rid in entries:
             rec = self._records[rid]
             pending.append((rec.seq_id, rec.prefill_remaining))
         round_ = self.policy.build_round(pending)
@@ -314,9 +528,14 @@ class ContinuousBatchingRuntime:
             chunk_tp.append((chunk.tokens, self.engine.context_length(chunk.seq_id)))
 
         out = self.engine.prefill(prompts)
-        self.now += self.clock.price_prefill(chunk_tp)
+        price = self.clock.price_prefill(chunk_tp)
+        self._t_prefill += price
+        if not self.disaggregated:
+            self._t_decode = self._t_prefill
+        self.metrics.record_round(POOL_PREFILL, price)
         self.prefill_rounds += 1
-        self._kv_holders.update(prompts)
+        self._holders_prefill.update(prompts)
+        self._note_kv_occupancy(POOL_PREFILL)
 
         for chunk in round_:
             rec = by_seq[chunk.seq_id]
@@ -329,20 +548,35 @@ class ContinuousBatchingRuntime:
         return True
 
     def _on_prefill_complete(self, rec: RequestRecord, last_logits: np.ndarray) -> None:
+        t = self._t_prefill
         if rec.request.max_new_tokens == 0:
-            self._finish_turn(rec)
+            if self.disaggregated:
+                # no decode phase: drop the prefill pool's copy; the next
+                # turn recomputes the history and ships the delta
+                self.engine.release(rec.seq_id)
+                self._holders_prefill.discard(rec.seq_id)
+            self._finish_turn(rec, at=t)
             return
         if rec.resample_on_prefill:
             token = int(sample_greedy(last_logits))
             rec.generated.append(token)
-            rec.token_times.append(self.now)
+            rec.token_times.append(t)
             if rec.first_token_at is None:
-                rec.first_token_at = self.now
+                rec.first_token_at = t
         # post-preemption resume keeps its already-sampled pending token —
         # the re-prefill logits would reproduce it exactly
         rec.resample_on_prefill = True
-        rec.state = RequestState.DECODE
-        self._decoding.add(rec.request_id)
+        if self.disaggregated:
+            # first token streamed from the prefill pool's logits; the KV
+            # delta now crosses the wire before decode can start
+            rec.state = RequestState.KV_TRANSFER
+            delta = self.engine.context_length(rec.seq_id) - self.decode_engine.context_length(
+                rec.seq_id
+            )
+            self.transfer_stream.schedule(rec.seq_id, rec.request_id, delta, t)
+        else:
+            rec.state = RequestState.DECODE
+            self._decoding.add(rec.request_id)
 
     def _fit_prefill_round(
         self,
@@ -367,10 +601,12 @@ class ContinuousBatchingRuntime:
                 for c in round_
             )
             victim = self._find_victim(
-                protected={c.seq_id for c in round_}, younger_than=tail_key
+                pool=POOL_PREFILL,
+                protected={c.seq_id for c in round_},
+                younger_than=tail_key,
             )
             if victim is not None:
-                self._evict(victim)
+                self._evict(victim, pool=POOL_PREFILL, at=self._t_prefill)
                 continue
             if len(round_) > 1:
                 round_.pop()
@@ -397,6 +633,65 @@ class ContinuousBatchingRuntime:
         return best
 
     # ------------------------------------------------------------------ #
+    # KV transfer landing (disaggregated)
+    # ------------------------------------------------------------------ #
+
+    def _land_transfers(self) -> bool:
+        """Import every due transfer the decode pool admits.
+
+        A payload the pool cannot admit — even after evicting every
+        eligible (younger or idle) victim — is refused: it stays on the
+        landed side of the wire and is retried as decode rounds and
+        conversation completions free blocks.
+        """
+        if not self.disaggregated:
+            return False
+        landed = False
+        for transfer in self.transfer_stream.ready(self._t_decode):
+            rec = self._records[transfer.request_id]
+            sid = transfer.seq_id
+            start_pos = self.decode_engine.context_length(sid)
+            tokens = self.engine.context_length(sid) - start_pos
+            if tokens > transfer.tokens:
+                # the decode pool evicted its resident copy while the delta
+                # was on the wire; the extra history re-ships at full
+                # bandwidth cost before this payload can land
+                self.transfer_stream.extend(
+                    transfer, tokens - transfer.tokens, self._t_decode
+                )
+                landed = True  # wire state changed: this step made progress
+                continue
+            demand = self.decode_engine.import_token_demand(sid, tokens)
+            admitted = True
+            while not self.decode_engine.fits(demand):
+                victim = self._find_victim(
+                    pool=POOL_DECODE,
+                    protected={sid},
+                    younger_than=(rec.request.arrival, rec.request_id),
+                )
+                if victim is None:
+                    if not transfer.refused:
+                        transfer.refused = True
+                        self.metrics.record_transfer_refusal()
+                    admitted = False
+                    break
+                self._evict(victim, pool=POOL_DECODE, at=self._t_decode)
+            if not admitted:
+                continue
+            export = self.engine.export_kv(sid, start_pos=start_pos)
+            self.decode_engine.import_kv(export)
+            self.engine.release(sid)
+            self._holders_prefill.discard(sid)
+            self._holders_decode.add(sid)
+            self.transfer_stream.complete(transfer)
+            self.metrics.record_transfer(tokens)
+            self._note_kv_occupancy(POOL_DECODE)
+            rec.state = RequestState.DECODE
+            self._decoding.add(rec.request_id)
+            landed = True
+        return landed
+
+    # ------------------------------------------------------------------ #
     # decode rounds
     # ------------------------------------------------------------------ #
 
@@ -405,9 +700,9 @@ class ContinuousBatchingRuntime:
         live = sorted(decoders, key=lambda r: (r.request.arrival, r.request_id))
         while live:
             sids = [r.seq_id for r in live]
-            if self.engine.fits(self.engine.decode_token_demand(sids)):
+            if self.decode_engine.fits(self.decode_engine.decode_token_demand(sids)):
                 break
-            victim = self._find_victim(protected=set(), younger_than=None)
+            victim = self._find_victim(pool=POOL_DECODE, protected=set(), younger_than=None)
             if victim is None:
                 raise RuntimeError(
                     "KV capacity exhausted: a decode step cannot fit even "
@@ -431,26 +726,31 @@ class ContinuousBatchingRuntime:
                         "cannot fit its next token and no older request is "
                         "waiting for the space"
                     )
-            self._evict(victim)
+            self._evict(victim, pool=POOL_DECODE, at=self._t_decode)
             if isinstance(victim, RequestRecord) and victim in live:
                 live.remove(victim)
         if not live:
             return
 
-        contexts = [self.engine.context_length(r.seq_id) + 1 for r in live]
+        contexts = [self.decode_engine.context_length(r.seq_id) + 1 for r in live]
         tokens = {r.seq_id: r.generated[-1] for r in live}
-        out = self.engine.decode(tokens)
-        self.now += self.clock.price_decode(contexts)
+        out = self.decode_engine.decode(tokens)
+        price = self.clock.price_decode(contexts)
+        self._t_decode += price
+        if not self.disaggregated:
+            self._t_prefill = self._t_decode
+        self.metrics.record_round(POOL_DECODE, price)
         self.decode_rounds += 1
+        self._note_kv_occupancy(POOL_DECODE)
 
         for rec in live:
             if len(rec.generated) < rec.request.max_new_tokens:
                 token = int(sample_greedy(out.logits[rec.seq_id]))
                 rec.generated.append(token)
-                rec.token_times.append(self.now)
+                rec.token_times.append(self._t_decode)
             else:
                 # the round just committed the final token's KV
-                self._finish_turn(rec)
+                self._finish_turn(rec, at=self._t_decode)
 
     # ------------------------------------------------------------------ #
     # preemption
@@ -461,20 +761,23 @@ class ContinuousBatchingRuntime:
         rec = self._records[request_id]
         if rec.state not in _ACTIVE_STATES:
             raise ValueError(f"request {request_id} is {rec.state.value}, not preemptible")
-        self._evict(rec)
+        at = self._t_decode if rec.state is RequestState.DECODE else self._t_prefill
+        self._evict(rec, pool=self._pool_of(rec), at=at)
 
     def _find_victim(
         self,
         *,
+        pool: str,
         protected: set[int],
         younger_than: tuple[float, int] | None,
     ):
-        """Next KV holder to evict: idle conversations first (no pending
-        turn, then latest next-arrival), then the youngest active request
-        (only if younger than ``younger_than`` when given). ``None`` when
-        nothing is evictable."""
+        """Next KV holder of ``pool`` to evict: idle conversations first
+        (no pending turn, then latest next-arrival), then the youngest
+        active request (only if younger than ``younger_than`` when given).
+        ``None`` when nothing is evictable."""
+        engine = self._pool_engine(pool)
         idle_free, idle_pending = [], []
-        for seq_id in self._kv_holders:
+        for seq_id in self._pool_holders(pool):
             if seq_id in protected:
                 continue
             chain = self._chains.get(seq_id)
@@ -483,6 +786,11 @@ class ContinuousBatchingRuntime:
                 continue
             head = self._records[chain[0]]
             if head.state not in _ACTIVE_STATES:  # holder waiting between turns
+                idle_pending.append((head.request.arrival, seq_id))
+            elif self.disaggregated and self._pool_of(head) != pool:
+                # the head's KV activity is in the OTHER pool; this pool's
+                # copy (e.g. a resident conversation whose next turn is
+                # re-prefilling) is idle here and safely re-shippable
                 idle_pending.append((head.request.arrival, seq_id))
         if idle_free:
             return min(idle_free)
@@ -494,7 +802,8 @@ class ContinuousBatchingRuntime:
             for rec in (self._records[rid] for rid in self._live)
             if rec.state in _ACTIVE_STATES
             and rec.seq_id not in protected
-            and self.engine.context_length(rec.seq_id) > 0
+            and (not self.disaggregated or self._pool_of(rec) == pool)
+            and engine.context_length(rec.seq_id) > 0
         ]
         if not candidates:
             return None
@@ -503,18 +812,23 @@ class ContinuousBatchingRuntime:
             return None
         return rec
 
-    def _evict(self, victim) -> None:
+    def _evict(self, victim, *, pool: str, at: float) -> None:
         """Evict an idle conversation (``int`` seq id) or an active request."""
         if isinstance(victim, RequestRecord):
-            self._preempt_record(victim)
+            self._preempt_record(victim, at=at)
             return
-        freed = self.engine.evict(victim)
-        self._kv_holders.discard(victim)
+        freed = self._pool_engine(pool).evict(victim)
+        self._pool_holders(pool).discard(victim)
         self.metrics.record_preemption(freed)
 
-    def _preempt_record(self, rec: RequestRecord) -> None:
-        freed = self.engine.evict(rec.seq_id)
-        self._kv_holders.discard(rec.seq_id)
+    def _preempt_record(self, rec: RequestRecord, *, at: float) -> None:
+        pool = self._pool_of(rec)
+        if rec.state is RequestState.KV_TRANSFER:
+            # the payload never arrives; the wire time already spent is sunk
+            if self.transfer_stream.cancel(rec.seq_id) is not None:
+                self.metrics.record_transfer_cancel()
+        freed = self._pool_engine(pool).evict(rec.seq_id)
+        self._pool_holders(pool).discard(rec.seq_id)
         self.metrics.record_preemption(freed)
         rec.preemptions += 1
         # tokens whose KV was committed by decode rounds (all generated but
@@ -529,10 +843,14 @@ class ContinuousBatchingRuntime:
             dtype=np.int64,
         )
         rec.prefill_done = 0
-        was_decoding = rec.state is RequestState.DECODE
+        requeue = (
+            rec.state in (RequestState.DECODE, RequestState.KV_TRANSFER)
+            or not self._in_prefill_queue(rec)
+        )
         rec.state = RequestState.PREEMPTED
+        rec.ready_at = max(rec.ready_at, at)
         self._decoding.discard(rec.request_id)
-        if was_decoding or not self._in_prefill_queue(rec):
+        if requeue:
             self._enqueue_prefill(rec)
 
     def _in_prefill_queue(self, rec: RequestRecord) -> bool:
@@ -547,9 +865,9 @@ class ContinuousBatchingRuntime:
     # completion
     # ------------------------------------------------------------------ #
 
-    def _finish_turn(self, rec: RequestRecord) -> None:
+    def _finish_turn(self, rec: RequestRecord, *, at: float) -> None:
         rec.state = RequestState.FINISHED
-        rec.finished_at = self.now
+        rec.finished_at = at
         self._live.discard(rec.request_id)
         self._decoding.discard(rec.request_id)
         seq_id = rec.seq_id
@@ -559,7 +877,12 @@ class ContinuousBatchingRuntime:
         assert chain and chain[0] == rec.request_id, "turn finished out of chain order"
         chain.pop(0)
         if chain:
-            self._waiting.add(seq_id)  # next turn's head is now eligible
+            # next turn's head is now eligible — but its prefill consumes
+            # this turn's tokens, so it can never run before this finish
+            # time (the decode-pool clock may be ahead of the prefill one)
+            nxt = self._records[chain[0]]
+            nxt.ready_at = max(nxt.ready_at, at)
+            self._waiting.add(seq_id)
         self.metrics.record_turn(
             TurnRecord(
                 seq_id=seq_id,
@@ -576,8 +899,11 @@ class ContinuousBatchingRuntime:
         if rec.request.last_turn and not chain:
             # conversation over: release KV and prune per-seq state (a
             # later submit for the same seq_id starts a fresh conversation)
-            self.engine.release(seq_id)
-            self._kv_holders.discard(seq_id)
+            self.decode_engine.release(seq_id)
+            self._holders_decode.discard(seq_id)
+            if self.disaggregated:
+                self.engine.release(seq_id)
+                self._holders_prefill.discard(seq_id)
             del self._chains[seq_id]
             del self._turn_history[seq_id]
 

@@ -2,21 +2,29 @@
 
 Each conversation turn moves through::
 
-    QUEUED --admit--> PREFILL --last chunk--> DECODE --budget spent--> FINISHED
-                         ^                      |
-                         |____ PREEMPTED <------/  (capacity pressure)
+    QUEUED --admit--> PREFILL --last chunk--> [KV_TRANSFER] --> DECODE --budget spent--> FINISHED
+                         ^                         |              |
+                         |________ PREEMPTED <-----+--------------/  (capacity pressure)
 
 - **QUEUED**: submitted, waiting for arrival time and (for follow-up
   turns) the previous turn of the same conversation to finish.
 - **PREFILL**: the turn's pending input is being committed chunk by chunk
-  (each chunk a budget-bounded partial prefill).
+  (each chunk a budget-bounded partial prefill). In a disaggregated
+  runtime this always runs on the *prefill pool*.
+- **KV_TRANSFER** (disaggregated runtimes only): prefill is complete and
+  the turn's first token has streamed, but its committed KV is still in
+  flight from the prefill pool to the decode pool over the
+  :class:`repro.runtime.transfer.KVTransferStream`. Colocated runtimes
+  skip this state entirely.
 - **DECODE**: one token per decode round until ``max_new_tokens`` are
   generated *and committed* — like :class:`repro.serving.session
   .ChatSession`, the final token's KV is decoded into the cache so
-  follow-up turns see an identical persistent state.
-- **PREEMPTED**: evicted under KV capacity pressure; all of the
-  conversation's cache is dropped, and the request rejoins the prefill
-  FIFO to re-prefill its full committed history exactly before resuming.
+  follow-up turns see an identical persistent state. Runs on the
+  *decode pool* when disaggregated.
+- **PREEMPTED**: evicted under KV capacity pressure (from either pool —
+  a transfer in flight is cancelled); all of the conversation's cache is
+  dropped, and the request rejoins the prefill FIFO to re-prefill its
+  full committed history exactly before resuming.
 - **FINISHED**: terminal.
 """
 
@@ -33,6 +41,7 @@ class RequestState(enum.Enum):
 
     QUEUED = "queued"
     PREFILL = "prefill"
+    KV_TRANSFER = "kv_transfer"
     DECODE = "decode"
     PREEMPTED = "preempted"
     FINISHED = "finished"
@@ -88,7 +97,13 @@ class RequestRecord:
             fresh first token (normal path) or resume with the already
             sampled ``generated[-1]`` (post-preemption path).
         cached_at_start: persistent KV length when the turn started
-            (the ``P`` of its first prefill chunk), for miss-rate records.
+            (the ``P`` of its first prefill chunk; in a disaggregated
+            runtime, the decode pool's resident KV the transfer machinery
+            preserved), for miss-rate records.
+        ready_at: earliest simulated time the request may occupy a
+            prefill round — its arrival, or the (decode-pool) time of the
+            eviction that sent it back to the prefill FIFO. Keeps the two
+            pool clocks causally consistent.
         preemptions: times this turn was evicted.
         chunk_algos: planner decision per executed prefill chunk.
         admitted_at / first_token_at / finished_at: simulated timestamps.
@@ -103,6 +118,7 @@ class RequestRecord:
     generated: list[int] = field(default_factory=list)
     resample_on_prefill: bool = True
     cached_at_start: int = 0
+    ready_at: float = 0.0
     preemptions: int = 0
     chunk_algos: list[str] = field(default_factory=list)
     admitted_at: float | None = None

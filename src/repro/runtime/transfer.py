@@ -1,0 +1,148 @@
+"""KV-transfer stream between the prefill pool and the decode pool.
+
+The disaggregated serving architecture (paper §4.3, DistServe / Mooncake)
+connects its two resource pools with a KV stream: when a prompt finishes
+prefilling on pool A, its committed KV blocks move to pool B, where the
+response decodes at interference-free TTIT. :class:`KVTransferStream`
+models that channel for the runtime:
+
+- **Serialized**: one transfer occupies the wire at a time; a transfer
+  scheduled while the channel is busy starts when the channel frees
+  (FIFO). This is what makes transfer time a contended resource the
+  experiments can observe.
+- **Priced, not free**: duration comes from the runtime clock's
+  ``price_transfer(tokens)`` (bandwidth model for the calibrated clock).
+- **Overlappable with compute**: the stream only tracks *when* payloads
+  arrive; both pools keep executing rounds while transfers are in
+  flight. The runtime imports a payload into the decode pool the first
+  time the decode clock passes the transfer's finish time *and* the
+  destination pool admits it.
+
+The physical payload (:class:`repro.core.engine.KVExport`) is exported
+and imported by the runtime at landing time, not held here — so a
+transfer cancelled by a prefill-pool eviction simply never lands, and
+the re-prefilled conversation schedules a fresh transfer later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Transfer:
+    """One in-flight prefill->decode KV move.
+
+    Attributes:
+        seq_id: conversation whose KV is moving.
+        request_id: the turn that triggered the move.
+        tokens: payload size priced at schedule time (the delta between
+            the pools' committed lengths).
+        start: when the channel began streaming it.
+        finish: when the payload is fully on the decode side.
+        refused: the decode pool has already refused this payload at
+            least once (admission counter de-duplication).
+    """
+
+    seq_id: int
+    request_id: int
+    tokens: int
+    start: float
+    finish: float
+    refused: bool = False
+
+
+class KVTransferStream:
+    """Serialized, priced KV channel from the prefill to the decode pool.
+
+    Args:
+        clock: any runtime step clock exposing ``price_transfer(tokens)``
+            (:class:`repro.runtime.clock.UnitStepClock` or
+            :class:`repro.runtime.clock.SimulatedStepClock`).
+    """
+
+    def __init__(self, clock):
+        self.clock = clock
+        self.busy_until = 0.0
+        self.busy_s = 0.0
+        self._in_flight: list[Transfer] = []
+
+    # ------------------------------------------------------------------ #
+
+    def schedule(self, seq_id: int, request_id: int, tokens: int, now: float) -> Transfer:
+        """Enqueue a transfer at simulated time ``now``; returns its record.
+
+        The channel is serialized: the transfer starts at
+        ``max(now, busy_until)``. Zero-token transfers are legal (an
+        up-to-date destination) and cost whatever the clock prices them
+        at (0 for both built-in clocks).
+        """
+        if tokens < 0:
+            raise ValueError(f"tokens must be >= 0, got {tokens}")
+        if any(t.seq_id == seq_id for t in self._in_flight):
+            raise ValueError(f"sequence {seq_id} already has a transfer in flight")
+        start = max(now, self.busy_until)
+        duration = self.clock.price_transfer(tokens)
+        transfer = Transfer(
+            seq_id=seq_id, request_id=request_id, tokens=tokens,
+            start=start, finish=start + duration,
+        )
+        self.busy_until = transfer.finish
+        self.busy_s += duration
+        self._in_flight.append(transfer)
+        return transfer
+
+    def ready(self, now: float) -> list[Transfer]:
+        """In-flight transfers fully arrived by ``now``, in finish order."""
+        return sorted(
+            (t for t in self._in_flight if t.finish <= now),
+            key=lambda t: (t.finish, t.request_id),
+        )
+
+    def extend(self, transfer: Transfer, extra_tokens: int, now: float) -> None:
+        """Grow an in-flight transfer's payload by ``extra_tokens``.
+
+        Used when the destination evicted its resident copy of the
+        sequence while the delta was on the wire: the landing must now
+        re-ship the whole history, and the *additional* tokens occupy the
+        channel from ``max(now, busy_until)`` — the already-streamed delta
+        is not re-charged.
+        """
+        if extra_tokens < 1:
+            raise ValueError(f"extra_tokens must be >= 1, got {extra_tokens}")
+        if transfer not in self._in_flight:
+            raise ValueError(f"transfer for seq {transfer.seq_id} is not in flight")
+        start = max(now, self.busy_until)
+        duration = self.clock.price_transfer(extra_tokens)
+        transfer.tokens += extra_tokens
+        transfer.finish = start + duration
+        self.busy_until = max(self.busy_until, transfer.finish)
+        self.busy_s += duration
+
+    def complete(self, transfer: Transfer) -> None:
+        """Mark a landed transfer done (the runtime imported its payload).
+
+        Landed/cancelled/token tallies live in
+        :class:`repro.serving.metrics.ServingMetrics` — the stream tracks
+        only wire state (``busy_until`` / ``busy_s`` / in-flight set).
+        """
+        self._in_flight.remove(transfer)
+
+    def cancel(self, seq_id: int) -> Transfer | None:
+        """Drop the in-flight transfer of ``seq_id`` (eviction mid-stream).
+
+        The channel time already spent is *not* refunded — the wire was
+        occupied whether or not the payload ends up used, which is
+        exactly the cost a preemption storm inflicts on a disaggregated
+        deployment.
+        """
+        for transfer in self._in_flight:
+            if transfer.seq_id == seq_id:
+                self._in_flight.remove(transfer)
+                return transfer
+        return None
+
+    # ------------------------------------------------------------------ #
+
+    def in_flight(self) -> list[Transfer]:
+        return list(self._in_flight)

@@ -17,6 +17,10 @@ class ServingMetrics:
     runtime's step clock (seconds); token and cache-hit accounting comes
     from the numeric engine's turn records. Preemption/eviction counters
     are fed by the continuous-batching runtime's capacity-pressure path.
+    Pool busy-time and KV-transfer counters are fed by the (optionally
+    disaggregated) runtime's event loop: per-pool utilization is
+    ``pool_busy_s[pool] / makespan``, and the transfer-stall counter is
+    the decode-pool idle time spent waiting for KV still on the wire.
     """
 
     ttft_samples: list[float] = field(default_factory=list)
@@ -24,6 +28,14 @@ class ServingMetrics:
     turns: list[TurnRecord] = field(default_factory=list)
     preemptions: int = 0
     evicted_tokens: int = 0
+    pool_busy_s: dict[str, float] = field(default_factory=dict)
+    pool_rounds: dict[str, int] = field(default_factory=dict)
+    peak_kv_utilization: dict[str, float] = field(default_factory=dict)
+    transfers: int = 0
+    transferred_kv_tokens: int = 0
+    transfer_refusals: int = 0
+    transfers_cancelled: int = 0
+    transfer_stall_s: float = 0.0
 
     def record_turn(self, turn: TurnRecord, *, ttft: float | None = None, ttit: float | None = None) -> None:
         self.turns.append(turn)
@@ -40,6 +52,33 @@ class ServingMetrics:
         """Count one capacity-pressure preemption and the KV it evicted."""
         self.preemptions += 1
         self.evicted_tokens += int(evicted_tokens)
+
+    def record_round(self, pool: str, busy_s: float) -> None:
+        """Account one engine round's busy time against ``pool``."""
+        self.pool_busy_s[pool] = self.pool_busy_s.get(pool, 0.0) + float(busy_s)
+        self.pool_rounds[pool] = self.pool_rounds.get(pool, 0) + 1
+
+    def record_kv_occupancy(self, pool: str, fraction: float) -> None:
+        """Sample a pool's claimed KV-block fraction (peak is kept)."""
+        current = self.peak_kv_utilization.get(pool, 0.0)
+        self.peak_kv_utilization[pool] = max(current, float(fraction))
+
+    def record_transfer(self, tokens: int) -> None:
+        """Count one landed prefill->decode KV transfer."""
+        self.transfers += 1
+        self.transferred_kv_tokens += int(tokens)
+
+    def record_transfer_refusal(self) -> None:
+        """Count a transfer the decode pool's admission control refused."""
+        self.transfer_refusals += 1
+
+    def record_transfer_cancel(self) -> None:
+        """Count a transfer cancelled by a mid-stream eviction."""
+        self.transfers_cancelled += 1
+
+    def record_transfer_stall(self, seconds: float) -> None:
+        """Account decode-pool idle time spent waiting on the KV stream."""
+        self.transfer_stall_s += float(seconds)
 
     # ------------------------------- views ------------------------------ #
 
@@ -77,6 +116,12 @@ class ServingMetrics:
             return float("nan")
         return float(np.percentile(self.ttit_samples, q))
 
+    def pool_utilization(self, pool: str, makespan: float) -> float:
+        """Busy fraction of ``pool`` over ``makespan`` (nan when unknown)."""
+        if makespan <= 0 or pool not in self.pool_busy_s:
+            return float("nan")
+        return self.pool_busy_s[pool] / makespan
+
     def summary(self) -> str:
         lines = [
             f"turns: {len(self.turns)}",
@@ -98,4 +143,24 @@ class ServingMetrics:
                 f"{self.percentile_ttit(50) * 1e3:.2f}/{self.percentile_ttit(95) * 1e3:.2f}/"
                 f"{self.percentile_ttit(99) * 1e3:.2f}ms"
             )
+        if self.transfers or self.transfer_refusals or self.transfers_cancelled:
+            lines.append(
+                f"KV transfers: {self.transfers} "
+                f"({self.transferred_kv_tokens} tokens, "
+                f"{self.transfer_refusals} refused, "
+                f"{self.transfers_cancelled} cancelled, "
+                f"{self.transfer_stall_s:.3f}s decode stall)"
+            )
+        if self.pool_busy_s:
+            busy = ", ".join(
+                f"{pool}: {self.pool_busy_s[pool]:.3f}s/{self.pool_rounds.get(pool, 0)} rounds"
+                for pool in sorted(self.pool_busy_s)
+            )
+            lines.append(f"pool busy: {busy}")
+        if self.peak_kv_utilization:
+            peak = ", ".join(
+                f"{pool}: {frac:.1%}"
+                for pool, frac in sorted(self.peak_kv_utilization.items())
+            )
+            lines.append(f"peak KV occupancy: {peak}")
         return "\n".join(lines)

@@ -1,8 +1,8 @@
 """Fused variable-length batch assembly.
 
 The paper's prefill algorithms operate on *fused varseq* inputs: several
-sequences of different lengths packed into one round (Figure 1), each
-load-balance sharded independently. Two round builders live here:
+sequences of different lengths packed into one round (Figure 1, §3.5.1),
+each load-balance sharded independently. Two round builders live here:
 
 - :class:`Scheduler` builds whole-request rounds from a FIFO of
   :class:`repro.serving.request.PrefillRequest`, bounded by a token budget
@@ -11,7 +11,18 @@ load-balance sharded independently. Two round builders live here:
   continuous-batching runtime (:mod:`repro.runtime`): each pending prompt
   contributes at most ``chunk_tokens`` of its remaining input per round, so
   long prompts prefill as a series of budget-bounded partial prefills
-  interleaved with decode rounds instead of monopolizing the engine.
+  interleaved with decode rounds instead of monopolizing the engine. This
+  is the paper's multi-turn partial-prefill machinery (§3.3, Figure 2 —
+  new tokens attend over whatever KV earlier rounds committed) repurposed
+  as chunked prefill in the Sarathi/vLLM sense; because each chunk is a
+  partial prefill with a rising cache-hit rate, the §3.5.2 pass-KV/pass-Q
+  heuristic re-fires per chunk. In the disaggregated deployment (§4.3)
+  these rounds are what the prefill pool executes, and in the colocated
+  one they bound how long any decode round can be starved.
+
+Capacity admission is *not* decided here: the runtime checks each built
+round's exact per-rank KV demand against the paged pools before executing
+it, shrinking or evicting per its FCFS rules.
 """
 
 from __future__ import annotations

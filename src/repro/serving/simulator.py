@@ -3,19 +3,30 @@
 Answers system-level questions the per-request model cannot: under a
 stream of arrivals, what TTFT/TTIT distributions does a CP deployment
 deliver, and how does colocated serving (prefill preempts decode, §4.3's
-standalone deployment) compare with a disaggregated pool?
+standalone deployment) compare with a disaggregated pool? This is the
+*analytic* face of the architecture the paper closes on — "a serving
+system that decouples the parallelization scheme for prefill and decode"
+(§4.3, citing DistServe and Mooncake). Its executable counterpart is the
+disaggregated :class:`repro.runtime.ContinuousBatchingRuntime`, whose
+measured TTFT/TTIT the "Disaggregated runtime" experiment
+(:mod:`repro.experiments.disagg_runtime`) puts next to this simulator's
+predictions over the same traces.
 
 Scheduling model (deliberately simple and deterministic):
 
 - **Prefill-priority, non-preemptive jobs**: the CP pool runs one prefill
   at a time (prefill is compute-bound and saturates all ranks); queued
-  prefills go FIFO.
+  prefills go FIFO. No chunking — the runtime's chunked prefill
+  interleaves at finer grain, which is the main place measurement and
+  prediction part ways.
 - **Decode rounds between prefills**: whenever no prefill is running or
   queued, all active sequences advance one token per round at the batched
   CP decode TTIT. A prefill arrival waits for the current round only.
 - **Disaggregated mode**: decode rounds run on a separate TP8 host at
   single-host TTIT and are never preempted by prefills; the KV stream
-  tail is added to TTFT (see :mod:`repro.serving.disaggregated`).
+  tail (``1/n_layers`` of the full stream — layer-wise overlap) is added
+  to TTFT (see :mod:`repro.serving.disaggregated`), where the runtime
+  instead schedules whole transfers on an explicit serialized wire.
 """
 
 from __future__ import annotations

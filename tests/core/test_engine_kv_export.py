@@ -1,0 +1,162 @@
+"""Tests for engine KV export/import (the disaggregated transfer payload).
+
+The contract: exporting a sequence's cached KV from one engine and
+importing it into another — of *any* world size — reproduces the source
+engine's numerics exactly, because the ring algorithms are exact for any
+sharding. Delta exports (``start_pos > 0``) cover the runtime's
+follow-up-turn path where the decode pool already holds a prefix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ContextParallelEngine
+from repro.kvcache.cache import CacheCapacityError
+from repro.model.config import tiny_config
+from repro.model.llama import LlamaModel
+
+MODEL = LlamaModel(tiny_config(), seed=0)
+VOCAB = MODEL.config.vocab_size
+
+
+def prompt(n, seed=0):
+    return (np.arange(n) * 7 + seed) % VOCAB
+
+
+class TestExport:
+    def test_export_covers_full_context(self):
+        engine = ContextParallelEngine(MODEL, world_size=3)
+        engine.prefill({0: prompt(20)})
+        export = engine.export_kv(0)
+        assert export.start_pos == 0
+        assert export.tokens == 20
+        assert export.end_pos == 20
+        assert np.array_equal(export.positions, np.arange(20))
+        assert len(export.layers) == MODEL.config.n_layers
+        for k, v in export.layers:
+            assert k.shape == (20, MODEL.config.n_kv_heads, MODEL.config.head_dim)
+            assert v.shape == k.shape
+
+    def test_delta_export(self):
+        engine = ContextParallelEngine(MODEL, world_size=2)
+        engine.prefill({0: prompt(16)})
+        engine.prefill({0: prompt(8, seed=3)})  # partial prefill extends to 24
+        export = engine.export_kv(0, start_pos=16)
+        assert export.tokens == 8
+        assert np.array_equal(export.positions, np.arange(16, 24))
+
+    def test_zero_token_export(self):
+        engine = ContextParallelEngine(MODEL, world_size=2)
+        engine.prefill({0: prompt(12)})
+        export = engine.export_kv(0, start_pos=12)
+        assert export.tokens == 0
+        assert export.positions.size == 0
+
+    def test_export_position_order_is_sharding_independent(self):
+        """Exports from different world sizes hold identical tensors."""
+        a = ContextParallelEngine(MODEL, world_size=1)
+        b = ContextParallelEngine(MODEL, world_size=3)
+        a.prefill({0: prompt(18)})
+        b.prefill({0: prompt(18)})
+        ea, eb = a.export_kv(0), b.export_kv(0)
+        for (ka, va), (kb, vb) in zip(ea.layers, eb.layers):
+            np.testing.assert_allclose(ka, kb, atol=1e-12, rtol=0)
+            np.testing.assert_allclose(va, vb, atol=1e-12, rtol=0)
+
+    def test_unknown_sequence_raises(self):
+        engine = ContextParallelEngine(MODEL, world_size=2)
+        with pytest.raises(KeyError):
+            engine.export_kv(5)
+
+    def test_start_pos_out_of_range_raises(self):
+        engine = ContextParallelEngine(MODEL, world_size=2)
+        engine.prefill({0: prompt(8)})
+        with pytest.raises(ValueError):
+            engine.export_kv(0, start_pos=9)
+
+
+class TestImport:
+    @pytest.mark.parametrize("world_src,world_dst", [(1, 2), (2, 1), (2, 3), (3, 2)])
+    def test_import_reproduces_decode_logits(self, world_src, world_dst):
+        """Decoding on the importing engine matches decoding on an engine
+        that prefilled the prompt itself — across world sizes."""
+        toks = prompt(24)
+        src = ContextParallelEngine(MODEL, world_size=world_src)
+        out = src.prefill({0: toks})
+        next_tok = int(np.argmax(out.last_logits(0)))
+
+        dst = ContextParallelEngine(MODEL, world_size=world_dst)
+        dst.import_kv(src.export_kv(0))
+        assert dst.context_length(0) == 24
+
+        ref = ContextParallelEngine(MODEL, world_size=world_dst)
+        ref.prefill({0: toks})
+        got = dst.decode({0: next_tok}).logits[0]
+        want = ref.decode({0: next_tok}).logits[0]
+        np.testing.assert_allclose(got, want, atol=1e-9, rtol=0)
+
+    def test_delta_import_extends_prefix(self):
+        """Importing only the positions the destination lacks produces the
+        same cache state as prefilling everything locally."""
+        first, second = prompt(16), prompt(8, seed=5)
+        src = ContextParallelEngine(MODEL, world_size=2)
+        src.prefill({0: first})
+        src.prefill({0: second})
+
+        dst = ContextParallelEngine(MODEL, world_size=3)
+        dst.prefill({0: first})  # destination already resident to 16
+        dst.import_kv(src.export_kv(0, start_pos=16))
+        assert dst.context_length(0) == 24
+
+        ref = ContextParallelEngine(MODEL, world_size=3)
+        ref.prefill({0: first})
+        ref.prefill({0: second})
+        probe = np.array([1, 2, 3], dtype=np.int64)
+        np.testing.assert_allclose(
+            dst.prefill({0: probe}).last_logits(0),
+            ref.prefill({0: probe}).last_logits(0),
+            atol=1e-9, rtol=0,
+        )
+
+    def test_import_position_mismatch_raises(self):
+        src = ContextParallelEngine(MODEL, world_size=2)
+        src.prefill({0: prompt(16)})
+        dst = ContextParallelEngine(MODEL, world_size=2)
+        with pytest.raises(ValueError, match="starts at"):
+            dst.import_kv(src.export_kv(0, start_pos=4))
+
+    def test_zero_token_import_is_noop(self):
+        src = ContextParallelEngine(MODEL, world_size=2)
+        src.prefill({0: prompt(8)})
+        dst = ContextParallelEngine(MODEL, world_size=2)
+        dst.prefill({0: prompt(8)})
+        dst.import_kv(src.export_kv(0, start_pos=8))
+        assert dst.context_length(0) == 8
+
+    def test_import_demand_matches_prefill_placement(self):
+        src = ContextParallelEngine(MODEL, world_size=2)
+        src.prefill({0: prompt(40)})
+        dst = ContextParallelEngine(MODEL, world_size=2, capacity_tokens=16)
+        demand = dst.import_token_demand(0, 40)
+        assert sum(sum(d.values()) for d in demand) == 40
+        # 20 tokens/rank exceed the one 16-token block each rank pool holds
+        assert not dst.fits(demand)
+
+    def test_import_respects_capacity_and_is_atomic(self):
+        src = ContextParallelEngine(MODEL, world_size=2)
+        src.prefill({0: prompt(40)})
+        dst = ContextParallelEngine(MODEL, world_size=2, capacity_tokens=8)
+        with pytest.raises(CacheCapacityError):
+            dst.import_kv(src.export_kv(0))
+        # the failed import touched nothing: no cache rows, no length
+        assert dst.context_length(0) == 0
+        assert all(cache.tokens(0) == 0 for cache in dst.caches)
+        # freeing is not even needed for a smaller payload to land cleanly
+        src2 = ContextParallelEngine(MODEL, world_size=2)
+        src2.prefill({0: prompt(12)})
+        dst.import_kv(src2.export_kv(0))
+        assert dst.context_length(0) == 12
+
+    def test_import_demand_zero_tokens(self):
+        dst = ContextParallelEngine(MODEL, world_size=2)
+        assert dst.import_token_demand(0, 0) == [{}, {}]

@@ -14,6 +14,19 @@ class TestPagedAllocator:
         assert alloc.stream_tokens(("s0",)) == 10
         assert alloc.free_tokens() == 3 * 16 + 6
 
+    def test_utilization(self):
+        alloc = PagedAllocator(num_blocks=4, block_size=16)
+        assert alloc.utilization() == 0.0
+        alloc.append(("s0",), 10)
+        alloc.append(("s1",), 20)
+        # block-granular: 1 + 2 claimed blocks out of 4
+        assert alloc.utilization() == pytest.approx(0.75)
+        alloc.release(("s1",))
+        assert alloc.utilization() == pytest.approx(0.25)
+
+    def test_empty_pool_utilization(self):
+        assert PagedAllocator(num_blocks=0, block_size=16).utilization() == 0.0
+
     def test_fill_partial_block_first(self):
         alloc = PagedAllocator(num_blocks=2, block_size=16)
         alloc.append(("s0",), 10)

@@ -8,6 +8,12 @@ decoded tokens are identical to replaying its conversation alone,
 uninterrupted, through :class:`repro.serving.session.ChatSession`, and
 the final logits agree to the library's exactness tolerance. This is the
 serving-level face of the paper's "lossless exact" claim.
+
+The disaggregated variant extends the property over deployment shape:
+for any prefill/decode pool split (any world sizes), any per-pool
+capacities, any transfer schedule and any forced-preemption storm
+(including evictions that cancel transfers mid-stream), the decoded
+tokens stay identical to sequential replay.
 """
 
 import numpy as np
@@ -119,6 +125,88 @@ class TestRuntimeExactness:
                     forced += 1
         report = runtime.report()
         reference = replay_scripts_sequential(lambda: fresh_engine(world), scripts)
+        for script in scripts:
+            got = [report.generated(rid) for rid in rids[script.seq_id]]
+            assert got == reference[script.seq_id]
+
+    @given(trace_case(), st.sampled_from([(1, 1), (1, 2), (2, 1), (2, 3), (3, 2)]))
+    @settings(**SETTINGS)
+    def test_disaggregated_pools_identical_to_sequential_replay(self, case, split):
+        """Any prefill/decode pool split serves bit-identical tokens."""
+        scripts, _world, chunk, capacity, think = case
+        world_p, world_d = split
+        engine = ContextParallelEngine(MODEL, world_size=world_p)
+        decode_engine = ContextParallelEngine(
+            MODEL, world_size=world_d, capacity_tokens=capacity
+        )
+        runtime = ContinuousBatchingRuntime(
+            engine,
+            decode_engine=decode_engine,
+            policy=ChunkedPrefillPolicy(
+                chunk_tokens=chunk, max_tokens_per_round=2 * chunk, max_seqs_per_round=4
+            ),
+        )
+        rids = submit_scripts_to_runtime(runtime, scripts, think_time_s=think)
+        report = runtime.run(max_steps=200_000)
+        reference = replay_scripts_sequential(lambda: fresh_engine(world_p), scripts)
+        for script in scripts:
+            got = [report.generated(rid) for rid in rids[script.seq_id]]
+            assert got == reference[script.seq_id], (
+                f"seq {script.seq_id} diverged (split={split}, capacity={capacity}, "
+                f"chunk={chunk}, preemptions={report.metrics.preemptions}, "
+                f"refusals={report.metrics.transfer_refusals})"
+            )
+        assert all(
+            r.state is RequestState.FINISHED for r in report.records.values()
+        )
+        # every prompt token crossed the wire exactly once per (re)transfer
+        assert report.metrics.transfers >= sum(s.turns for s in scripts) - sum(
+            1 for s in scripts for b in s.response_budgets if b == 0
+        )
+
+    @given(trace_case(), st.sampled_from([(1, 2), (2, 1), (2, 2)]), st.integers(1, 6))
+    @settings(**SETTINGS)
+    def test_disaggregated_forced_preemption_storm(self, case, split, every):
+        """Evicting the youngest active request every few steps — from
+        either pool, cancelling transfers mid-stream — never changes
+        tokens."""
+        scripts, _world, chunk, _, think = case
+        world_p, world_d = split
+        engine = ContextParallelEngine(MODEL, world_size=world_p)
+        decode_engine = ContextParallelEngine(MODEL, world_size=world_d)
+        runtime = ContinuousBatchingRuntime(
+            engine,
+            decode_engine=decode_engine,
+            policy=ChunkedPrefillPolicy(
+                chunk_tokens=chunk, max_tokens_per_round=2 * chunk, max_seqs_per_round=4
+            ),
+        )
+        rids = submit_scripts_to_runtime(runtime, scripts, think_time_s=think)
+        steps = 0
+        forced = 0
+        active_states = (
+            RequestState.PREFILL, RequestState.KV_TRANSFER, RequestState.DECODE
+        )
+        while runtime.step():
+            steps += 1
+            if steps > 200_000:
+                pytest.fail("runtime did not drain")
+            if steps % every == 0 and forced < 25:
+                active = [
+                    r
+                    for r in runtime.report().records.values()
+                    if r.state in active_states
+                    and (
+                        runtime.engine.context_length(r.seq_id) > 0
+                        or runtime.decode_engine.context_length(r.seq_id) > 0
+                    )
+                ]
+                if active:
+                    victim = max(active, key=lambda r: (r.request.arrival, r.request_id))
+                    runtime.preempt(victim.request_id)
+                    forced += 1
+        report = runtime.report()
+        reference = replay_scripts_sequential(lambda: fresh_engine(world_d), scripts)
         for script in scripts:
             got = [report.generated(rid) for rid in rids[script.seq_id]]
             assert got == reference[script.seq_id]

@@ -1,0 +1,132 @@
+"""Tests for the KV-transfer stream and transfer pricing."""
+
+import pytest
+
+from repro.model.config import llama3_405b_config
+from repro.perf.hardware import gtt_host
+from repro.perf.latency import LatencySimulator
+from repro.runtime.clock import SimulatedStepClock, UnitStepClock
+from repro.runtime.transfer import KVTransferStream
+
+
+class TestTransferPricing:
+    def test_unit_clock_fixed_cost(self):
+        c = UnitStepClock(transfer_cost=2.5)
+        assert c.price_transfer(1) == 2.5
+        assert c.price_transfer(10_000) == 2.5
+
+    def test_unit_clock_zero_tokens_free(self):
+        assert UnitStepClock().price_transfer(0) == 0.0
+
+    def test_unit_clock_validation(self):
+        with pytest.raises(ValueError):
+            UnitStepClock(transfer_cost=-1.0)
+        with pytest.raises(ValueError):
+            UnitStepClock().price_transfer(-1)
+
+    def test_simulated_clock_bandwidth_model(self):
+        sim = LatencySimulator(llama3_405b_config(), gtt_host())
+        clock = SimulatedStepClock(sim, n_ranks=4)
+        tokens = 131072
+        want = tokens * sim.config.kv_bytes_per_token(sim.element_bytes) / sim.host.ring_bandwidth
+        assert clock.price_transfer(tokens) == pytest.approx(want)
+        assert clock.price_transfer(0) == 0.0
+        # linear in payload
+        assert clock.price_transfer(2 * tokens) == pytest.approx(2 * clock.price_transfer(tokens))
+
+    def test_simulated_clock_tp_decode_pricing(self):
+        sim = LatencySimulator(llama3_405b_config(), gtt_host())
+        cp = SimulatedStepClock(sim, n_ranks=4)
+        tp = SimulatedStepClock(sim, n_ranks=4, tp_decode=True)
+        ctx = [131072]
+        assert tp.price_decode(ctx) == pytest.approx(sim.tp_decode(131072, batch=1, n_nodes=1).total)
+        # the dedicated decode host avoids the CP decode regression
+        assert tp.price_decode(ctx) < cp.price_decode(ctx)
+
+
+class TestKVTransferStream:
+    def make(self, cost=2.0):
+        return KVTransferStream(UnitStepClock(transfer_cost=cost))
+
+    def test_schedule_and_ready(self):
+        s = self.make()
+        t = s.schedule(seq_id=0, request_id=10, tokens=16, now=1.0)
+        assert (t.start, t.finish) == (1.0, 3.0)
+        assert s.ready(2.9) == []
+        assert s.ready(3.0) == [t]
+        s.complete(t)
+        assert s.in_flight() == []
+
+    def test_channel_serializes(self):
+        """A transfer scheduled while the wire is busy queues behind it."""
+        s = self.make(cost=5.0)
+        a = s.schedule(0, 1, 8, now=0.0)
+        b = s.schedule(1, 2, 8, now=1.0)  # wire busy until 5.0
+        assert a.finish == 5.0
+        assert (b.start, b.finish) == (5.0, 10.0)
+        assert s.busy_until == 10.0
+        assert s.busy_s == 10.0
+
+    def test_zero_token_transfer(self):
+        """An up-to-date destination yields a legal zero-length transfer."""
+        s = self.make()
+        t = s.schedule(0, 1, 0, now=4.0)
+        assert t.finish == 4.0
+        assert s.ready(4.0) == [t]
+        s.complete(t)
+        assert s.in_flight() == []
+        assert s.busy_s == 0.0
+
+    def test_cancel_mid_stream(self):
+        """Eviction mid-stream drops the payload but not the wire time."""
+        s = self.make(cost=3.0)
+        s.schedule(0, 1, 8, now=0.0)
+        cancelled = s.cancel(0)
+        assert cancelled is not None and cancelled.seq_id == 0
+        assert s.in_flight() == []
+        # the channel stays busy: a later transfer still queues behind
+        assert s.schedule(1, 2, 8, now=0.0).start == 3.0
+
+    def test_cancel_unknown_is_noop(self):
+        s = self.make()
+        assert s.cancel(7) is None
+
+    def test_duplicate_in_flight_rejected(self):
+        s = self.make()
+        s.schedule(0, 1, 8, now=0.0)
+        with pytest.raises(ValueError):
+            s.schedule(0, 2, 4, now=0.0)
+
+    def test_negative_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().schedule(0, 1, -1, now=0.0)
+
+    def test_ready_orders_by_finish(self):
+        s = self.make(cost=1.0)
+        a = s.schedule(0, 1, 8, now=0.0)
+        b = s.schedule(1, 2, 8, now=0.0)
+        assert s.ready(10.0) == [a, b]
+        assert s.in_flight() == [a, b]
+
+    def test_extend_reships_extra_tokens(self):
+        """Growing an in-flight payload occupies the wire again for the
+        extra tokens only, pushing its finish out."""
+        s = self.make(cost=3.0)
+        t = s.schedule(0, 1, 8, now=0.0)
+        assert t.finish == 3.0
+        s.extend(t, 40, now=5.0)
+        assert t.tokens == 48
+        assert (t.start, t.finish) == (0.0, 8.0)  # 5.0 + another 3.0 on the wire
+        assert s.busy_until == 8.0
+        assert s.busy_s == 6.0
+        assert s.ready(7.9) == []
+        assert s.ready(8.0) == [t]
+
+    def test_extend_validation(self):
+        s = self.make()
+        t = s.schedule(0, 1, 8, now=0.0)
+        with pytest.raises(ValueError):
+            s.extend(t, 0, now=0.0)
+        s.cancel(0)
+        with pytest.raises(ValueError, match="not in flight"):
+            s.extend(t, 4, now=0.0)

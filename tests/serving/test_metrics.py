@@ -81,3 +81,40 @@ class TestServingMetrics:
         text = ServingMetrics().summary()
         assert "turns: 0" in text
         assert "TTFT" not in text
+        assert "KV transfers" not in text
+        assert "pool busy" not in text
+
+    def test_transfer_accounting(self):
+        m = ServingMetrics()
+        m.record_transfer(40)
+        m.record_transfer(8)
+        m.record_transfer_refusal()
+        m.record_transfer_cancel()
+        m.record_transfer_stall(2.5)
+        m.record_transfer_stall(0.5)
+        assert m.transfers == 2
+        assert m.transferred_kv_tokens == 48
+        assert m.transfer_refusals == 1
+        assert m.transfers_cancelled == 1
+        assert m.transfer_stall_s == pytest.approx(3.0)
+        assert "KV transfers: 2 (48 tokens, 1 refused, 1 cancelled" in m.summary()
+
+    def test_kv_occupancy_keeps_peak(self):
+        m = ServingMetrics()
+        m.record_kv_occupancy("decode", 0.25)
+        m.record_kv_occupancy("decode", 0.75)
+        m.record_kv_occupancy("decode", 0.5)
+        assert m.peak_kv_utilization == {"decode": 0.75}
+        assert "peak KV occupancy: decode: 75.0%" in m.summary()
+
+    def test_pool_accounting(self):
+        m = ServingMetrics()
+        m.record_round("prefill", 2.0)
+        m.record_round("prefill", 2.0)
+        m.record_round("decode", 0.5)
+        assert m.pool_rounds == {"prefill": 2, "decode": 1}
+        assert m.pool_utilization("prefill", makespan=8.0) == pytest.approx(0.5)
+        assert m.pool_utilization("decode", makespan=8.0) == pytest.approx(0.0625)
+        assert math.isnan(m.pool_utilization("decode", makespan=0.0))
+        assert math.isnan(m.pool_utilization("missing", makespan=8.0))
+        assert "pool busy: decode: 0.500s/1 rounds, prefill: 4.000s/2 rounds" in m.summary()

@@ -55,6 +55,29 @@ class TestCommands:
         assert "preemptions:" in out
         assert "verify vs sequential replay: identical" in out
 
+    def test_serve_disaggregated_verifies_exactness(self, capsys):
+        assert main([
+            "serve", "--sessions", "2", "--turns", "2", "--disaggregate", "2:1",
+            "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "CP2 prefill -> CP1 decode" in out
+        assert "KV transfers:" in out
+        assert "pool utilization:" in out
+        assert "verify vs sequential replay: identical" in out
+
+    def test_serve_rejects_malformed_disaggregate(self, capsys):
+        assert main(["serve", "--disaggregate", "2x1"]) == 2
+        assert "P:D" in capsys.readouterr().err
+
+    def test_serve_rejects_decode_capacity_without_disaggregate(self, capsys):
+        assert main(["serve", "--decode-capacity", "64"]) == 2
+        assert "--disaggregate" in capsys.readouterr().err
+
+    def test_serve_rejects_world_with_disaggregate(self, capsys):
+        assert main(["serve", "--world", "4", "--disaggregate", "1:1"]) == 2
+        assert "conflicts" in capsys.readouterr().err
+
     def test_trace_writes_json(self, capsys, tmp_path):
         import json
 
