@@ -169,3 +169,50 @@ def bench_runtime_throughput(benchmark):
         )
     benchmark.extra_info["generated_tokens"] = report.generated_tokens
     benchmark.extra_info["preemptions"] = report.metrics.preemptions
+
+
+def bench_preemption_modes(benchmark):
+    """One capacity-pressure trace replayed under all three preemption
+    remedies (recompute, tail-trim, CPU swap) back to back.
+
+    Wall time covers the full recompute+trim+swap sweep on a trace whose
+    tight paged pool forces every remedy to fire; ``extra_info`` records
+    the per-mode remedy counts so the JSON shows what actually ran."""
+    from repro.runtime import ContinuousBatchingRuntime
+    from repro.serving.scheduler import ChunkedPrefillPolicy
+    from repro.workloads.generator import WorkloadGenerator
+    from repro.workloads.replay import submit_scripts_to_runtime
+
+    model = LlamaModel(tiny_config(), seed=0)
+    gen = WorkloadGenerator(model.config.vocab_size, seed=11)
+    scripts = [
+        gen.conversation(
+            sid, turns=2, first_prompt=40, followup_range=(6, 14), response_range=(3, 5)
+        )
+        for sid in range(4)
+    ]
+
+    def run():
+        reports = {}
+        for mode in ("recompute", "trim", "swap"):
+            runtime = ContinuousBatchingRuntime(
+                ContextParallelEngine(model, world_size=2, capacity_tokens=64),
+                policy=ChunkedPrefillPolicy(
+                    chunk_tokens=8, max_tokens_per_round=16, max_seqs_per_round=4
+                ),
+                preemption=mode,
+            )
+            submit_scripts_to_runtime(runtime, scripts, think_time_s=2.0)
+            reports[mode] = runtime.run(max_steps=200_000)
+        return reports
+
+    reports = benchmark(run)
+    tokens = {m: sorted(r.generated(i) for i in r.records) for m, r in reports.items()}
+    assert tokens["trim"] == tokens["recompute"] == tokens["swap"]
+    for mode, report in reports.items():
+        m = report.metrics
+        benchmark.extra_info[f"{mode}_remedies"] = (
+            m.preemptions + m.trims + m.swaps_out
+        )
+    benchmark.extra_info["swaps"] = reports["swap"].metrics.swaps_out
+    benchmark.extra_info["trims"] = reports["trim"].metrics.trims

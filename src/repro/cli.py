@@ -14,7 +14,10 @@ Commands:
   runtime (chunked prefill + preemption under KV pressure) and report
   streaming metrics; ``--disaggregate P:D`` splits it into a CP-P prefill
   pool feeding a CP-D decode pool over a priced KV-transfer stream
-  (§4.3); ``--verify`` bit-checks every decoded token against sequential
+  (§4.3); ``--preemption {recompute,trim,swap}`` picks the eviction
+  remedy (full re-prefill, tail-trim + suffix re-prefill, or CPU-side KV
+  swap priced at PCIe bandwidth, bounded by ``--swap-capacity``);
+  ``--verify`` bit-checks every decoded token against sequential
   per-conversation replay.
 """
 
@@ -33,6 +36,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         disaggregation,
         gqa_sensitivity,
         pp_vs_cp,
+        preemption_modes,
         report,
         serving_load,
     )
@@ -44,6 +48,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     results.append(pp_vs_cp.run())
     results.append(serving_load.run_runtime())
     results.append(disagg_runtime.run())
+    results.append(preemption_modes.run())
     if not args.fast:
         results.append(serving_load.run())
     for res in results:
@@ -193,12 +198,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.swap_capacity is not None and args.preemption != "swap":
+        print(
+            "error: --swap-capacity only applies with --preemption swap",
+            file=sys.stderr,
+        )
+        return 2
     world = args.world if args.world is not None else 2
 
     policy = ChunkedPrefillPolicy(
         chunk_tokens=args.chunk,
         max_tokens_per_round=args.round_budget,
         max_seqs_per_round=8,
+    )
+    remedy = dict(
+        preemption=args.preemption,
+        swap_capacity_tokens=args.swap_capacity,
     )
     if pools is None:
         engine = ContextParallelEngine(
@@ -208,6 +223,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             engine,
             policy=policy,
             clock=SimulatedStepClock(sim, n_ranks=args.priced_ranks),
+            **remedy,
         )
         deploy = f"CP{world}"
     else:
@@ -224,6 +240,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             decode_engine=decode_engine,
             policy=policy,
             clock=SimulatedStepClock(sim, n_ranks=args.priced_ranks, tp_decode=True),
+            **remedy,
         )
         deploy = f"CP{pools[0]} prefill -> CP{pools[1]} decode"
     rids = submit_scripts_to_runtime(runtime, scripts)
@@ -233,6 +250,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"served {args.sessions} sessions x {args.turns} turns on {deploy} "
         f"(KV capacity/rank: {cap}, chunk: {args.chunk}, "
+        f"preemption: {args.preemption}, "
         f"priced as 405B on CP{args.priced_ranks} {host.name})"
     )
     print(f"rounds: {report.prefill_rounds} prefill, {report.decode_rounds} decode")
@@ -319,6 +337,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--decode-capacity", type=int, default=None,
         help="per-rank KV token capacity of the decode pool "
              "(default: same as --capacity; only with --disaggregate)",
+    )
+    p_serve.add_argument(
+        "--preemption", choices=["recompute", "trim", "swap"], default="recompute",
+        help="eviction remedy under KV pressure: full evict + exact re-prefill "
+             "(recompute, default), tail-trim newest blocks + re-prefill only the "
+             "suffix (trim), or CPU-side KV swap priced at PCIe bandwidth (swap)",
+    )
+    p_serve.add_argument(
+        "--swap-capacity", type=int, default=None,
+        help="host-side KV store budget in tokens per pool "
+             "(default unbounded; only with --preemption swap)",
     )
     p_serve.add_argument("--chunk", type=int, default=16, help="prefill chunk tokens")
     p_serve.add_argument("--round-budget", type=int, default=32,

@@ -441,6 +441,34 @@ class ContextParallelEngine:
         self.seq_lengths.pop(seq_id, None)
         return freed
 
+    def evict_tail(self, seq_id: int, keep_tokens: int) -> int:
+        """Drop cached KV at positions ``>= keep_tokens`` on every rank.
+
+        Partial (tail-trim) eviction for the serving runtime's cheaper
+        preemption remedy: the oldest ``keep_tokens`` positions stay
+        resident wherever the sharding placed them, and a later partial
+        :meth:`prefill` of just the trimmed suffix restores the sequence
+        exactly (algorithms are exact for any sharding, so the resumed
+        logits match the uninterrupted run). ``keep_tokens == 0``
+        degenerates to :meth:`evict`.
+
+        Returns:
+            Total tokens freed across ranks.
+
+        Raises:
+            ValueError: ``keep_tokens`` outside the committed context.
+        """
+        length = self.seq_lengths.get(seq_id, 0)
+        if not 0 <= keep_tokens <= length:
+            raise ValueError(
+                f"keep_tokens {keep_tokens} outside committed context [0, {length}]"
+            )
+        if keep_tokens == 0:
+            return self.evict(seq_id)
+        freed = sum(cache.drop_tail(seq_id, keep_tokens) for cache in self.caches)
+        self.seq_lengths[seq_id] = keep_tokens
+        return freed
+
     # ------------------------------------------------------------------ #
     # KV export / import (disaggregated prefill -> decode transfer)
     # ------------------------------------------------------------------ #
@@ -598,6 +626,15 @@ class ContextParallelEngine:
         return all(
             cache.can_append(demand) for cache, demand in zip(self.caches, demands)
         )
+
+    def kv_block_tokens(self) -> int:
+        """Tokens per paged-KV allocator block on each rank.
+
+        The granularity at which tail-trim eviction actually frees pool
+        capacity: dropping fewer than one rank's block of tokens only
+        opens slack inside the victim's own last block.
+        """
+        return self.caches[0].block_size
 
     def cached_tokens(self, seq_id: int) -> list[int]:
         """Per-rank cached token counts for ``seq_id`` (balance diagnostics)."""

@@ -1,0 +1,161 @@
+"""Extension experiment: preemption remedies under KV capacity pressure.
+
+The runtime's original answer to KV pressure is vLLM-style
+*recomputation*: evict a whole conversation and re-prefill its full
+history on resume. DistServe/Mooncake-class systems trade HBM for
+cheaper remedies instead — dropping only the newest KV blocks
+(*tail-trim*: resume re-prefills just the trimmed suffix) or swapping
+the victim's KV to host memory over PCIe (*swap*: import it back before
+resume, no recompute at all). This experiment replays one multi-session
+capacity-pressure trace through the continuous-batching runtime under
+all three ``--preemption`` remedies at a sweep of per-rank KV
+capacities, with rounds priced for Llama3 405B by the calibrated clock
+(prefill at CP-pool TTFT rates, swaps at PCIe bandwidth).
+
+The headline: recompute pays for every eviction twice — once in the
+evicted request's re-prefill and again in the queueing delay it inflicts
+on everyone behind it — which lands squarely on tail TTFT. Trim halves
+that bill (only suffixes re-prefill); swap removes it (a PCIe round
+trip costs microseconds per token where re-prefill costs ~0.1 ms/token
+at 405B scale). Every mode decodes bit-identical tokens — the remedies
+change *timing only*, pinned by ``tests/properties/test_prop_runtime``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult
+from repro.model.config import llama3_405b_config, tiny_config
+from repro.perf.hardware import HostSpec, gtt_host
+from repro.perf.latency import LatencySimulator
+
+#: The remedies compared, in sweep order.
+MODES = ("recompute", "trim", "swap")
+
+
+def run(
+    host: HostSpec | None = None,
+    *,
+    n_sessions: int = 5,
+    turns: int = 3,
+    first_prompt: int = 80,
+    world_size: int = 2,
+    capacities: tuple[int, ...] = (160, 128, 96),
+    priced_ranks: int = 4,
+    seed: int = 11,
+) -> ExperimentResult:
+    """Recompute vs tail-trim vs CPU-swap on the same pressured trace.
+
+    Numerics run the tiny model at ``world_size``; the step clock prices
+    rounds (and PCIe swaps) for Llama3 405B on ``priced_ranks`` CP
+    hosts. Every (capacity, mode) cell replays the *same* trace and the
+    decoded tokens are asserted identical across modes — only the
+    remedy's timing differs.
+    """
+    from repro.core.engine import ContextParallelEngine
+    from repro.model.llama import LlamaModel
+    from repro.runtime import ContinuousBatchingRuntime, SimulatedStepClock
+    from repro.serving.scheduler import ChunkedPrefillPolicy
+    from repro.workloads.generator import WorkloadGenerator
+    from repro.workloads.replay import submit_scripts_to_runtime
+
+    host = host if host is not None else gtt_host()
+    model = LlamaModel(tiny_config(), seed=0)
+    gen = WorkloadGenerator(model.config.vocab_size, seed=seed)
+    scripts = [
+        gen.conversation(
+            sid, turns=turns, first_prompt=first_prompt,
+            followup_range=(8, 16), response_range=(4, 6),
+        )
+        for sid in range(n_sessions)
+    ]
+    clock = SimulatedStepClock(
+        LatencySimulator(llama3_405b_config(), host), n_ranks=priced_ranks
+    )
+
+    res = ExperimentResult(
+        experiment_id="Preemption modes",
+        title=(
+            f"{n_sessions} sessions x {turns} turns under KV pressure: "
+            f"recompute vs tail-trim vs CPU swap "
+            f"(CP{world_size} numerics, CP{priced_ranks} 405B pricing)"
+        ),
+        headers=[
+            "KV capacity/rank", "preemption",
+            "full evicts", "trims", "swaps out/in",
+            "prefill rounds",
+            "p50 TTFT (s)", "p95 TTFT (s)", "p95 TTIT (ms)",
+            "makespan (s)", "goodput (tok/s)",
+        ],
+    )
+
+    for capacity in capacities:
+        tokens_by_mode = {}
+        for mode in MODES:
+            engine = ContextParallelEngine(
+                model, world_size=world_size, capacity_tokens=capacity
+            )
+            runtime = ContinuousBatchingRuntime(
+                engine,
+                policy=ChunkedPrefillPolicy(
+                    chunk_tokens=16, max_tokens_per_round=32, max_seqs_per_round=4
+                ),
+                clock=clock,
+                preemption=mode,
+            )
+            rids = submit_scripts_to_runtime(runtime, scripts)
+            report = runtime.run(max_steps=400_000)
+            tokens_by_mode[mode] = {
+                script.seq_id: [report.generated(rid) for rid in rids[script.seq_id]]
+                for script in scripts
+            }
+            m = report.metrics
+            res.add_row(
+                capacity,
+                mode,
+                m.preemptions,
+                m.trims,
+                f"{m.swaps_out}/{m.swaps_in}",
+                report.prefill_rounds,
+                m.percentile_ttft(50),
+                m.percentile_ttft(95),
+                m.percentile_ttit(95) * 1e3,
+                report.makespan,
+                report.tokens_per_second(),
+            )
+        if any(tokens_by_mode[m] != tokens_by_mode["recompute"] for m in MODES):
+            raise AssertionError(
+                "serving-level exactness violated: preemption remedies "
+                f"changed decoded tokens at capacity {capacity}"
+            )
+
+    res.notes.append(
+        "Same trace, bit-identical tokens in every cell (asserted): the "
+        "remedy changes what an eviction costs, never what it computes."
+    )
+    p95 = res.column("p95 TTFT (s)")
+    by_mode = {mode: p95[i :: len(MODES)] for i, mode in enumerate(MODES)}
+    cheaper_always_win = all(
+        t < r and s < r
+        for r, t, s in zip(by_mode["recompute"], by_mode["trim"], by_mode["swap"])
+    )
+    verdict = (
+        "trim and swap beat recompute at every capacity: recompute's "
+        "full re-prefills queue ahead of waiting first tokens, trim "
+        "re-prefills only trimmed suffixes, and swap replaces recompute "
+        "with a PCIe round trip priced in microseconds per token."
+        if cheaper_always_win
+        else "the cheaper remedies did NOT separate from recompute at "
+        "every swept capacity — this parameterization leaves too little "
+        "KV pressure for the remedy choice to matter."
+    )
+    res.notes.append(
+        "p95 TTFT by mode (across the capacity sweep): "
+        + "; ".join(
+            f"{mode}: " + "/".join(f"{v:.2f}s" for v in by_mode[mode])
+            for mode in MODES
+        )
+        + " — " + verdict
+    )
+    return res

@@ -78,6 +78,7 @@ class RankKVCache:
         self.n_kv_heads = n_kv_heads
         self.head_dim = head_dim
         self.capacity_tokens = capacity_tokens
+        self.block_size = block_size
         self.quantized = quantized
         self._streams: dict[tuple[int, int], _Stream] = {}
         num_blocks = 0 if capacity_tokens is None else -(-capacity_tokens // block_size)
@@ -216,6 +217,67 @@ class RankKVCache:
         if self._allocator is None:
             return True
         return self._allocator.fits({(sid,): n for sid, n in demands.items()})
+
+    def drop_tail(self, seq_id: int, from_pos: int) -> int:
+        """Evict every cached token of ``seq_id`` at position ``>= from_pos``.
+
+        Partial (tail) eviction: the prefix this rank holds below
+        ``from_pos`` stays resident, and only the whole allocator blocks
+        the dropped tokens vacate return to the pool. Positions are
+        absolute, so the tokens dropped here are exactly this rank's share
+        of the sequence's global tail regardless of how sharding
+        interleaved them into the stream.
+
+        Returns:
+            Tokens dropped at layer 0 (every layer stores the same token
+            set); 0 when nothing at or above ``from_pos`` is cached here.
+        """
+        if from_pos < 0:
+            raise ValueError(f"from_pos must be >= 0, got {from_pos}")
+        freed = 0
+        for layer in range(self.n_layers):
+            stream = self._streams.get((layer, seq_id))
+            if stream is None:
+                continue
+            dropped = 0
+            k_chunks, v_chunks, pos_chunks = [], [], []
+            for k, v, pos in zip(stream.k_chunks, stream.v_chunks, stream.pos_chunks):
+                keep = pos < from_pos
+                n_keep = int(keep.sum())
+                dropped += pos.size - n_keep
+                if n_keep == pos.size:
+                    k_chunks.append(k)
+                    v_chunks.append(v)
+                    pos_chunks.append(pos)
+                elif n_keep > 0:
+                    if self.quantized:
+                        from repro.kvcache.quantized import QuantizedKV
+
+                        sliced = QuantizedKV(
+                            k_codes=k.k_codes[keep],
+                            v_codes=k.v_codes[keep],
+                            k_scales=k.k_scales[keep],
+                            v_scales=k.v_scales[keep],
+                        )
+                        k_chunks.append(sliced)
+                        v_chunks.append(sliced)
+                    else:
+                        k_chunks.append(k[keep])
+                        v_chunks.append(v[keep])
+                    pos_chunks.append(pos[keep])
+            if dropped == 0:
+                continue
+            if pos_chunks:
+                stream.k_chunks = k_chunks
+                stream.v_chunks = v_chunks
+                stream.pos_chunks = pos_chunks
+            else:
+                del self._streams[(layer, seq_id)]
+            if layer == 0:
+                freed = dropped
+        if freed and self._allocator is not None:
+            self._allocator.release_tail((seq_id,), freed)
+        return freed
 
     def drop(self, seq_id: int) -> int:
         """Evict a sequence from all layers and release its blocks.

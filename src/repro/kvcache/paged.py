@@ -91,6 +91,10 @@ class PagedAllocator:
         """
         if n_tokens < 0:
             raise ValueError(f"n_tokens must be >= 0, got {n_tokens}")
+        if n_tokens == 0 and key not in self._owners:
+            # registering a fresh key with zero tokens would leave a
+            # phantom zero-block stream in streams() forever
+            return
         blocks = self._owners.setdefault(key, [])
         fill = self._fill.setdefault(key, 0)
         capacity = len(blocks) * self.block_size
@@ -132,11 +136,48 @@ class PagedAllocator:
         return need <= len(self._free)
 
     def release(self, key: tuple) -> int:
-        """Free all blocks of stream ``key``; returns the block count freed."""
+        """Free all blocks of stream ``key``; returns the block count freed.
+
+        Releasing an unknown (or already-released) key is a clean no-op
+        returning 0 — callers evicting speculatively need not pre-check.
+        """
         blocks = self._owners.pop(key, [])
         self._fill.pop(key, None)
         self._free.extend(blocks)
         return len(blocks)
+
+    def release_tail(self, key: tuple, n_tokens: int) -> int:
+        """Drop the *newest* ``n_tokens`` of stream ``key``; returns blocks freed.
+
+        Only whole blocks that become empty are returned to the pool (the
+        stream's new last block may stay partially filled — that slack is
+        reusable by the stream itself, as :meth:`free_tokens` counts).
+        Dropping every token degenerates to :meth:`release`, so the key is
+        deregistered and never lingers as a zero-block stream.
+
+        Raises:
+            ValueError: negative ``n_tokens``, or more tokens than the
+                stream holds (which would indicate caller corruption).
+        """
+        if n_tokens < 0:
+            raise ValueError(f"n_tokens must be >= 0, got {n_tokens}")
+        fill = self._fill.get(key, 0)
+        if n_tokens > fill:
+            raise ValueError(
+                f"stream {key}: cannot drop {n_tokens} of {fill} stored tokens"
+            )
+        if n_tokens == 0:
+            return 0
+        new_fill = fill - n_tokens
+        if new_fill == 0:
+            return self.release(key)
+        blocks = self._owners[key]
+        keep_blocks = -(-new_fill // self.block_size)
+        freed = blocks[keep_blocks:]
+        del blocks[keep_blocks:]
+        self._free.extend(freed)
+        self._fill[key] = new_fill
+        return len(freed)
 
     def streams(self) -> list[tuple]:
         return list(self._owners)

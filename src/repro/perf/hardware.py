@@ -77,6 +77,12 @@ class HostSpec:
             baseline's activation AllReduce, bytes/s.
         allreduce_latency: per-AllReduce-hop latency (seconds).
         nvlink_bandwidth: per-GPU intra-host bandwidth, bytes/s.
+        pcie_bandwidth: achieved host-level device<->host-DRAM bandwidth
+            for KV offload traffic (the runtime's ``--preemption swap``
+            remedy), bytes/s. Conservatively one PCIe Gen5 x16 link's
+            practical ~56 GB/s: per-GPU DMAs fan out in parallel but
+            contend with NIC traffic and host-memory bandwidth, so the
+            sustained host aggregate lands near a single link.
         elementwise_passes: *effective* HBM passes over the activation per
             layer spent on non-GEMM token-wise work (norms, RoPE,
             residuals, cache writes), already derated for the low achieved
@@ -96,6 +102,7 @@ class HostSpec:
     allreduce_bandwidth: float = 140e9
     allreduce_latency: float = 30e-6
     nvlink_bandwidth: float = 450e9
+    pcie_bandwidth: float = 56e9
     elementwise_passes: float = 56.0
     ring_setup_per_layer: float = 5.5e-3
     decode_layer_overhead: float = 0.13e-3

@@ -7,8 +7,10 @@ This package turns the reproduction's layers into one live system
 (:mod:`repro.runtime.transfer`), and the event loop itself
 (:mod:`repro.runtime.runtime`) — chunked prefill fused across requests,
 batched decode interleaving, admission control and capacity-pressure
-preemption against the paged KV allocator, with exact re-prefill on
-resume. One engine gives the colocated deployment; a second engine turns
+preemption against the paged KV allocator, with three priced eviction
+remedies (full evict + exact re-prefill, tail-trim + suffix re-prefill,
+or CPU-side KV swap over PCIe). One engine gives the colocated
+deployment; a second engine turns
 it into the disaggregated prefill/decode pools of §4.3, connected by a
 priced, serialized KV-transfer stream. Decoded tokens are identical to
 replaying every conversation sequentially; only placement and

@@ -29,6 +29,12 @@ Pricing conventions (documented approximations):
   calibrated clock); the disaggregated runtime overlaps it with compute
   explicitly instead of the analytic model's ``1/n_layers`` exposure
   approximation.
+- A CPU-side KV swap of ``n`` tokens (the runtime's ``--preemption swap``
+  remedy: DMA the victim's KV to host DRAM instead of recomputing it) is
+  priced at PCIe-bandwidth cost (``n * kv_bytes_per_token /
+  pcie_bandwidth`` for the calibrated clock), charged once per direction.
+  The swapping pool stalls for the DMA — the honest price DistServe /
+  Mooncake-class systems pay for trading HBM against host memory.
 """
 
 from __future__ import annotations
@@ -44,6 +50,8 @@ class UnitStepClock:
         decode_cost: simulated seconds per decode round.
         transfer_cost: simulated seconds per (non-empty) pool-to-pool KV
             transfer; zero-token transfers are free.
+        swap_cost: simulated seconds per (non-empty) device<->host KV
+            swap direction; zero-token swaps are free.
     """
 
     def __init__(
@@ -52,14 +60,18 @@ class UnitStepClock:
         prefill_cost: float = 1.0,
         decode_cost: float = 1.0,
         transfer_cost: float = 1.0,
+        swap_cost: float = 1.0,
     ):
         if prefill_cost <= 0 or decode_cost <= 0:
             raise ValueError("round costs must be > 0")
         if transfer_cost < 0:
             raise ValueError("transfer_cost must be >= 0")
+        if swap_cost < 0:
+            raise ValueError("swap_cost must be >= 0")
         self.prefill_cost = prefill_cost
         self.decode_cost = decode_cost
         self.transfer_cost = transfer_cost
+        self.swap_cost = swap_cost
 
     def price_prefill(self, chunks: list[tuple[int, int]]) -> float:
         """Cost of one fused prefill round of ``[(T_i, P_i), ...]`` chunks."""
@@ -78,6 +90,12 @@ class UnitStepClock:
         if tokens < 0:
             raise ValueError(f"tokens must be >= 0, got {tokens}")
         return self.transfer_cost if tokens else 0.0
+
+    def price_swap(self, tokens: int) -> float:
+        """Cost of moving ``tokens`` of KV one way across the host bus."""
+        if tokens < 0:
+            raise ValueError(f"tokens must be >= 0, got {tokens}")
+        return self.swap_cost if tokens else 0.0
 
 
 class SimulatedStepClock:
@@ -122,3 +140,15 @@ class SimulatedStepClock:
             raise ValueError(f"tokens must be >= 0, got {tokens}")
         bytes_ = tokens * self.sim.config.kv_bytes_per_token(self.sim.element_bytes)
         return bytes_ / self.sim.host.ring_bandwidth
+
+    def price_swap(self, tokens: int) -> float:
+        """One-way device<->host KV swap cost at PCIe bandwidth.
+
+        Charged per direction (swap-out and swap-in each pay it), which
+        is what makes swap a priced alternative to recompute: cheaper
+        than re-prefilling long histories, never free.
+        """
+        if tokens < 0:
+            raise ValueError(f"tokens must be >= 0, got {tokens}")
+        bytes_ = tokens * self.sim.config.kv_bytes_per_token(self.sim.element_bytes)
+        return bytes_ / self.sim.host.pcie_bandwidth

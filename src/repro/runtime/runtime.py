@@ -57,12 +57,29 @@ Scheduling model (event-driven, deterministic):
   request — never one older than any beneficiary of the round, so
   admission stays FCFS. A transfer landing is admission-checked the same
   way and is *refused* (left on the wire, retried) when the decode pool
-  cannot make room. A preempted request loses the evicting pool's cache
-  and later re-prefills its full committed history in chunks; a request
-  evicted mid-transfer has its transfer cancelled (channel time is not
-  refunded). Because the algorithms are exact for any sharding and
-  chunking, the resumed request's tokens are identical to an
-  uninterrupted run (pinned by property tests).
+  cannot make room. A request evicted mid-transfer has its transfer
+  cancelled (only wire time already streamed is sunk; a still-queued
+  payload refunds its reservation and successors re-pack). Because the
+  algorithms are exact for any sharding and chunking, the resumed
+  request's tokens are identical to an uninterrupted run (pinned by
+  property tests).
+- **Preemption remedies** (``preemption=``): what eviction does to the
+  victim's KV. ``"recompute"`` (default, vLLM-style) drops the whole
+  conversation and re-prefills the full committed history on resume.
+  ``"trim"`` drops only the victim's *newest* KV blocks — roughly one
+  allocator block per rank per application, repeatedly under sustained
+  pressure, down to full eviction — so resume re-prefills just the
+  trimmed suffix over the resident prefix.
+  ``"swap"`` exports the victim's KV whole into a per-pool host-side
+  store (bounded by ``swap_capacity_tokens``) at
+  ``clock.price_swap(tokens)`` PCIe cost, and imports it back — same
+  price again — once the pool readmits it, with *no* recompute in either
+  direction: a decode victim resumes decoding its pending token
+  directly. Both new remedies fall back to full eviction when they
+  cannot apply (mid-transfer victims, a full host store, a prefix
+  already trimmed to nothing, a payload larger than the empty pool).
+  DistServe/Mooncake-class systems trade HBM this way; the discrete
+  clocks price each remedy honestly, and none of them may change tokens.
 
 Exactness contract: for greedy decoding, the per-request token streams are
 identical to replaying each conversation sequentially through
@@ -165,6 +182,15 @@ class ContinuousBatchingRuntime:
             decode rounds while any request is decoding (>= 1). Higher
             values favour TTFT over TTIT. Only meaningful colocated —
             disaggregated pools never contend.
+        preemption: eviction remedy — ``"recompute"`` (full evict +
+            exact re-prefill, the default), ``"trim"`` (tail-trim: drop
+            newest KV only, re-prefill just the suffix), or ``"swap"``
+            (export to a host-side store at PCIe cost, import back
+            before resume, no recompute).
+        swap_capacity_tokens: per-pool host-store budget in KV tokens
+            for ``preemption="swap"`` (``None`` = unbounded host DRAM).
+            A victim that does not fit the store falls back to full
+            eviction.
     """
 
     def __init__(
@@ -176,11 +202,26 @@ class ContinuousBatchingRuntime:
         clock=None,
         transfer_stream: KVTransferStream | None = None,
         max_prefill_rounds_per_decode: int = 1,
+        preemption: str = "recompute",
+        swap_capacity_tokens: int | None = None,
     ):
         if max_prefill_rounds_per_decode < 1:
             raise ValueError(
                 f"max_prefill_rounds_per_decode must be >= 1, got {max_prefill_rounds_per_decode}"
             )
+        if preemption not in ("recompute", "trim", "swap"):
+            raise ValueError(
+                f"preemption must be one of 'recompute', 'trim', 'swap', got {preemption!r}"
+            )
+        if swap_capacity_tokens is not None:
+            if preemption != "swap":
+                raise ValueError(
+                    "swap_capacity_tokens only applies with preemption='swap'"
+                )
+            if swap_capacity_tokens < 0:
+                raise ValueError(
+                    f"swap_capacity_tokens must be >= 0, got {swap_capacity_tokens}"
+                )
         if decode_engine is not None and decode_engine.model is not engine.model:
             raise ValueError(
                 "disaggregated pools must share model weights: pass the same "
@@ -199,6 +240,17 @@ class ContinuousBatchingRuntime:
             else None
         )
         self.max_prefill_rounds_per_decode = max_prefill_rounds_per_decode
+        self.preemption = preemption
+        self.swap_capacity_tokens = swap_capacity_tokens
+        # host-side KV store per pool (swap remedy): {seq_id: KVExport};
+        # colocated runtimes canonicalize onto the prefill-pool slot
+        self._swap_store: dict[str, dict[int, object]] = {
+            POOL_PREFILL: {},
+            POOL_DECODE: {},
+        }
+        self._swap_used: dict[str, int] = {POOL_PREFILL: 0, POOL_DECODE: 0}
+        # requests whose KV sits in the host store, FCFS by (arrival, rid)
+        self._swap_wait: list[tuple[tuple[float, int], int, str]] = []
 
         self._t_prefill = 0.0
         self._t_decode = 0.0
@@ -304,11 +356,21 @@ class ContinuousBatchingRuntime:
         if self.disaggregated:
             return self._step_disaggregated()
         self._admit()
+        self._swap_in_ready()
         if not self._prefill_queue and not self._decoders():
             nxt = self._next_arrival()
-            assert nxt is not None, "live requests but nothing runnable or arriving"
-            self._t_prefill = self._t_decode = max(self.now, nxt)
-            self._admit()
+            if nxt is None:
+                # every live request is swap-blocked waiting on capacity
+                # held by older work that no longer exists; fall back to
+                # chunked recompute so the run drains. (The other dead
+                # end — a payload too large for even an emptied pool —
+                # already spilled inside _swap_in_ready.)
+                spilled = self._spill_oldest_swapped()
+                assert spilled, "live requests but nothing runnable or arriving"
+            else:
+                self._t_prefill = self._t_decode = max(self.now, nxt)
+                self._admit()
+                self._swap_in_ready()
 
         decoders = self._decoders()
         want_decode = decoders and (
@@ -342,14 +404,17 @@ class ContinuousBatchingRuntime:
         """
         progressed = self._land_transfers()
         self._admit()
+        if self._swap_in_ready():
+            progressed = True
         if not self._ready_prefill_entries():
             nxt = self._next_prefill_event()
             if nxt is not None:
-                # running decodes / in-flight transfers may still create
-                # *earlier* prefill work (follow-up turns, evictions), so
-                # an idle prefill clock may only catch up to the decode
-                # clock — never jump past it — until pool B drains too
-                if self._decoding or self.transfer_stream.in_flight():
+                # running decodes / in-flight transfers / pending swap-ins
+                # may still create *earlier* prefill work (follow-up
+                # turns, evictions), so an idle prefill clock may only
+                # catch up to the decode clock — never jump past it —
+                # until pool B drains too
+                if self._decoding or self._swap_wait or self.transfer_stream.in_flight():
                     nxt = min(nxt, self._t_decode)
                 if nxt > self._t_prefill:
                     self._t_prefill = nxt
@@ -382,6 +447,8 @@ class ContinuousBatchingRuntime:
             self._decode_round(decoders)
             return self._any_live()
         if not progressed and not ready:
+            if self._spill_oldest_swapped():
+                return self._any_live()
             raise RuntimeError(
                 "runtime stalled: live requests but no runnable rounds, "
                 "arrivals, or admissible KV transfers (decode pool too small "
@@ -465,14 +532,34 @@ class ContinuousBatchingRuntime:
                         dtype=np.int64,
                     )
             else:
-                rec.cached_at_start = self.engine.context_length(seq_id)
-                if rec.cached_at_start == 0 and self._turn_history[seq_id]:
-                    # the idle conversation was evicted between turns: fold the
-                    # full committed history back into this turn's prefill
+                store = self._swap_store[POOL_PREFILL]
+                history = self._turn_history[seq_id]
+                if seq_id in store:
+                    # the idle conversation's resident KV was swapped to
+                    # the host store between turns: restore it (priced at
+                    # PCIe cost, no recompute) before this turn's prefill
+                    # extends it
+                    cached = store[seq_id].tokens
+                    rec.cached_at_start = cached
                     rec.pending_input = np.asarray(
-                        self._turn_history[seq_id] + list(rec.request.prompt),
-                        dtype=np.int64,
+                        history + list(rec.request.prompt), dtype=np.int64
                     )
+                    rec.prefill_done = cached
+                    rec.swapped_from = RequestState.PREFILL
+                    rec.state = RequestState.SWAPPED
+                    self._swap_wait.append(
+                        ((rec.request.arrival, rec.request_id), rec.request_id, POOL_PREFILL)
+                    )
+                    continue
+                rec.cached_at_start = self.engine.context_length(seq_id)
+                if rec.cached_at_start < len(history):
+                    # the idle conversation was evicted (or tail-trimmed)
+                    # between turns: fold the committed history back in and
+                    # resume the prefill from the resident prefix
+                    rec.pending_input = np.asarray(
+                        history + list(rec.request.prompt), dtype=np.int64
+                    )
+                    rec.prefill_done = rec.cached_at_start
             self._enqueue_prefill(rec)
 
     def _enqueue_prefill(self, rec: RequestRecord) -> None:
@@ -785,22 +872,26 @@ class ContinuousBatchingRuntime:
                 idle_free.append(seq_id)
                 continue
             head = self._records[chain[0]]
-            if head.state not in _ACTIVE_STATES:  # holder waiting between turns
+            if head.state is RequestState.QUEUED:  # holder waiting between turns
                 idle_pending.append((head.request.arrival, seq_id))
             elif self.disaggregated and self._pool_of(head) != pool:
-                # the head's KV activity is in the OTHER pool; this pool's
-                # copy (e.g. a resident conversation whose next turn is
-                # re-prefilling) is idle here and safely re-shippable
+                # the head's KV activity is in the OTHER pool (or host-
+                # side); this pool's copy (e.g. a resident conversation
+                # whose next turn is re-prefilling) is idle here and
+                # safely re-shippable
                 idle_pending.append((head.request.arrival, seq_id))
         if idle_free:
             return min(idle_free)
         if idle_pending:
             return max(idle_pending)[1]
 
+        # PREEMPTED requests holding KV are tail-trimmed residue queued
+        # for re-prefill; they count as (young) active holders so further
+        # pressure trims or evicts them through record bookkeeping
         candidates = [
             rec
             for rec in (self._records[rid] for rid in self._live)
-            if rec.state in _ACTIVE_STATES
+            if (rec.state in _ACTIVE_STATES or rec.state is RequestState.PREEMPTED)
             and rec.seq_id not in protected
             and (not self.disaggregated or self._pool_of(rec) == pool)
             and engine.context_length(rec.seq_id) > 0
@@ -813,7 +904,13 @@ class ContinuousBatchingRuntime:
         return rec
 
     def _evict(self, victim, *, pool: str, at: float) -> None:
-        """Evict an idle conversation (``int`` seq id) or an active request."""
+        """Apply the configured remedy to an idle conversation (``int``
+        seq id) or an active request. Trim and swap fall back to full
+        eviction when they cannot apply."""
+        if self.preemption == "trim" and self._try_trim(victim, pool=pool, at=at):
+            return
+        if self.preemption == "swap" and self._try_swap_out(victim, pool=pool, at=at):
+            return
         if isinstance(victim, RequestRecord):
             self._preempt_record(victim, at=at)
             return
@@ -822,18 +919,33 @@ class ContinuousBatchingRuntime:
         self.metrics.record_preemption(freed)
 
     def _preempt_record(self, rec: RequestRecord, *, at: float) -> None:
+        """Full eviction of an active request (recompute on resume)."""
         pool = self._pool_of(rec)
         if rec.state is RequestState.KV_TRANSFER:
-            # the payload never arrives; the wire time already spent is sunk
-            if self.transfer_stream.cancel(rec.seq_id) is not None:
-                self.metrics.record_transfer_cancel()
+            # the payload never arrives; only wire time already streamed
+            # by ``at`` is sunk — a still-queued reservation is refunded
+            # and transfers behind it re-pack
+            cancelled = self.transfer_stream.cancel(rec.seq_id, now=at)
+            if cancelled is not None:
+                self.metrics.record_transfer_cancel(refunded=cancelled.sunk_s <= 0.0)
         freed = self._pool_engine(pool).evict(rec.seq_id)
         self._pool_holders(pool).discard(rec.seq_id)
         self.metrics.record_preemption(freed)
+        self._reschedule_preempted(rec, at=at)
+
+    def _reschedule_preempted(self, rec: RequestRecord, *, at: float) -> None:
+        """Send a (fully or partially) evicted request back to the
+        prefill FIFO, resuming from whatever prefix the prefill pool
+        still holds.
+
+        Tokens whose KV was committed by decode rounds (all generated but
+        the in-flight last one) fold into the re-prefill input; the
+        pending sampled token survives and is NOT resampled on resume.
+        ``prefill_done`` picks up at the prefill pool's resident prefix —
+        0 after a full eviction (recompute), the kept prefix after a
+        tail-trim.
+        """
         rec.preemptions += 1
-        # tokens whose KV was committed by decode rounds (all generated but
-        # the in-flight last one) fold into the re-prefill input; the
-        # pending sampled token survives and is NOT resampled on resume
         committed_generated = rec.generated[:-1] if rec.generated else []
         rec.resample_on_prefill = not rec.generated
         rec.pending_input = np.asarray(
@@ -842,9 +954,9 @@ class ContinuousBatchingRuntime:
             + [int(t) for t in committed_generated],
             dtype=np.int64,
         )
-        rec.prefill_done = 0
+        rec.prefill_done = self.engine.context_length(rec.seq_id)
         requeue = (
-            rec.state in (RequestState.DECODE, RequestState.KV_TRANSFER)
+            rec.state in (RequestState.DECODE, RequestState.KV_TRANSFER, RequestState.SWAPPED)
             or not self._in_prefill_queue(rec)
         )
         rec.state = RequestState.PREEMPTED
@@ -852,6 +964,179 @@ class ContinuousBatchingRuntime:
         self._decoding.discard(rec.request_id)
         if requeue:
             self._enqueue_prefill(rec)
+
+    # ------------------------------------------------------------------ #
+    # preemption remedies: tail-trim and CPU-side KV swap
+    # ------------------------------------------------------------------ #
+
+    def _try_trim(self, victim, *, pool: str, at: float) -> bool:
+        """Tail-trim remedy: drop the newest KV blocks of the victim.
+
+        The resident prefix survives, so resume re-prefills only the
+        trimmed suffix. Each call drops roughly one allocator block per
+        rank (the granularity at which trimming actually frees pool
+        capacity); under sustained pressure the fit loops call this
+        repeatedly — the victim shrinks block by block until a single
+        token would remain, at which point the remedy declines and full
+        eviction takes over. Mid-transfer victims decline too (the wire
+        payload references their prefill-pool KV).
+        """
+        rec = victim if isinstance(victim, RequestRecord) else None
+        if rec is not None and rec.state is RequestState.KV_TRANSFER:
+            return False
+        seq_id = rec.seq_id if rec is not None else victim
+        engine = self._pool_engine(pool)
+        length = engine.context_length(seq_id)
+        step = max(1, engine.kv_block_tokens() * engine.world_size)
+        keep = length - step
+        if keep < 1:
+            return False
+        freed = engine.evict_tail(seq_id, keep)
+        self.metrics.record_trim(freed)
+        self._note_kv_occupancy(pool)
+        if rec is not None:
+            self._reschedule_preempted(rec, at=at)
+        return True
+
+    def _store_pool(self, pool: str) -> str:
+        """Host-store slot for ``pool`` (colocated: one shared store)."""
+        return pool if self.disaggregated else POOL_PREFILL
+
+    def _pool_time(self, pool: str) -> float:
+        return self._t_prefill if pool == POOL_PREFILL else self._t_decode
+
+    def _advance_pool_clock(self, pool: str, seconds: float) -> None:
+        """Stall ``pool`` for ``seconds`` (swap DMA); colocated clocks
+        stay mirrored."""
+        if pool == POOL_PREFILL:
+            self._t_prefill += seconds
+        else:
+            self._t_decode += seconds
+        if not self.disaggregated:
+            self._t_prefill = self._t_decode = max(self._t_prefill, self._t_decode)
+
+    def _try_swap_out(self, victim, *, pool: str, at: float) -> bool:
+        """Swap remedy: export the victim's KV whole to the host store.
+
+        The evicting pool stalls for ``price_swap(tokens)`` (PCIe DMA);
+        the request resumes — decode victims directly, prefill victims
+        via the FIFO — once :meth:`_swap_in_ready` imports the payload
+        back. Declines (falling back to full eviction) for mid-transfer
+        victims, a full host store, or disaggregated *idle* residents,
+        whose copy the transfer machinery already restores more cheaply
+        than a PCIe round-trip would.
+        """
+        rec = victim if isinstance(victim, RequestRecord) else None
+        if rec is not None and rec.state is RequestState.KV_TRANSFER:
+            return False
+        if rec is None and self.disaggregated:
+            return False
+        seq_id = rec.seq_id if rec is not None else victim
+        engine = self._pool_engine(pool)
+        tokens = engine.context_length(seq_id)
+        if tokens == 0:
+            return False
+        store_pool = self._store_pool(pool)
+        if seq_id in self._swap_store[store_pool]:
+            return False
+        if self.swap_capacity_tokens is not None and (
+            self._swap_used[store_pool] + tokens > self.swap_capacity_tokens
+        ):
+            return False
+        export = engine.export_kv(seq_id)
+        engine.release(seq_id)
+        self._pool_holders(pool).discard(seq_id)
+        self._swap_store[store_pool][seq_id] = export
+        self._swap_used[store_pool] += tokens
+        cost = self.clock.price_swap(tokens)
+        self._advance_pool_clock(pool, cost)
+        self.metrics.record_swap_out(tokens, stall_s=cost)
+        if rec is not None:
+            rec.preemptions += 1
+            rec.swapped_from = (
+                RequestState.DECODE
+                if rec.state is RequestState.DECODE
+                else RequestState.PREFILL
+            )
+            self._dequeue_prefill(rec)
+            self._decoding.discard(rec.request_id)
+            rec.state = RequestState.SWAPPED
+            rec.ready_at = max(rec.ready_at, at + cost)
+            self._swap_wait.append(
+                ((rec.request.arrival, rec.request_id), rec.request_id, pool)
+            )
+        return True
+
+    def _swap_in_ready(self) -> bool:
+        """Import host-stored KV back, FCFS, wherever the pool admits it.
+
+        A blocked swap-in may evict (per the configured remedy) victims
+        younger than the returning request — the same FCFS rule as any
+        admission. A payload too large for even an *emptied* pool spills
+        to the recompute path so the run can still drain.
+        """
+        progressed = False
+        for entry in sorted(self._swap_wait):
+            _key, rid, pool = entry
+            rec = self._records[rid]
+            if rec.ready_at > self._pool_time(pool):
+                continue
+            engine = self._pool_engine(pool)
+            store_pool = self._store_pool(pool)
+            export = self._swap_store[store_pool][rec.seq_id]
+            admitted = True
+            while not engine.fits(engine.import_token_demand(rec.seq_id, export.tokens)):
+                victim = self._find_victim(
+                    pool=pool,
+                    protected={rec.seq_id},
+                    younger_than=(rec.request.arrival, rec.request_id),
+                )
+                if victim is None:
+                    admitted = False
+                    break
+                self._evict(victim, pool=pool, at=self._pool_time(pool))
+            if not admitted:
+                if not self._pool_holders(pool):
+                    self._spill_swapped(entry)
+                    progressed = True
+                continue
+            engine.import_kv(export)
+            del self._swap_store[store_pool][rec.seq_id]
+            self._swap_used[store_pool] -= export.tokens
+            self._pool_holders(pool).add(rec.seq_id)
+            self._swap_wait.remove(entry)
+            cost = self.clock.price_swap(export.tokens)
+            self._advance_pool_clock(pool, cost)
+            self.metrics.record_swap_in(export.tokens, stall_s=cost)
+            self._note_kv_occupancy(pool)
+            rec.ready_at = max(rec.ready_at, self._pool_time(pool))
+            resume, rec.swapped_from = rec.swapped_from, None
+            if resume is RequestState.DECODE:
+                rec.state = RequestState.DECODE
+                self._decoding.add(rid)
+            else:
+                rec.state = RequestState.PREEMPTED
+                self._enqueue_prefill(rec)
+            progressed = True
+        return progressed
+
+    def _spill_swapped(self, entry) -> None:
+        """Abandon a blocked swap-in: drop the host copy and resume via
+        chunked recompute (the remedy of last resort)."""
+        _key, rid, pool = entry
+        rec = self._records[rid]
+        store_pool = self._store_pool(pool)
+        export = self._swap_store[store_pool].pop(rec.seq_id)
+        self._swap_used[store_pool] -= export.tokens
+        self._swap_wait.remove(entry)
+        rec.swapped_from = None
+        self._reschedule_preempted(rec, at=self._pool_time(pool))
+
+    def _spill_oldest_swapped(self) -> bool:
+        if not self._swap_wait:
+            return False
+        self._spill_swapped(min(self._swap_wait))
+        return True
 
     def _in_prefill_queue(self, rec: RequestRecord) -> bool:
         return any(rid == rec.request_id for _, rid in self._prefill_queue)

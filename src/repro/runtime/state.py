@@ -22,9 +22,18 @@ Each conversation turn moves through::
   follow-up turns see an identical persistent state. Runs on the
   *decode pool* when disaggregated.
 - **PREEMPTED**: evicted under KV capacity pressure (from either pool —
-  a transfer in flight is cancelled); all of the conversation's cache is
-  dropped, and the request rejoins the prefill FIFO to re-prefill its
-  full committed history exactly before resuming.
+  a transfer in flight is cancelled); the request rejoins the prefill
+  FIFO. Under the default *recompute* remedy all of the conversation's
+  cache is dropped and the full committed history re-prefills exactly;
+  under the *tail-trim* remedy only the newest KV is dropped, the
+  resident prefix survives, and only the trimmed suffix re-prefills.
+- **SWAPPED** (``--preemption swap`` runtimes only): the victim's KV was
+  exported whole to a host-side store (priced at PCIe bandwidth by
+  ``StepClock.price_swap``) instead of being dropped. The request waits
+  off-engine; once the pool readmits it the KV is imported back and the
+  request resumes exactly where it was — a decode victim re-enters
+  DECODE with its pending sampled token, a prefill victim rejoins the
+  prefill FIFO mid-chunk. No recompute happens in either direction.
 - **FINISHED**: terminal.
 """
 
@@ -44,6 +53,7 @@ class RequestState(enum.Enum):
     KV_TRANSFER = "kv_transfer"
     DECODE = "decode"
     PREEMPTED = "preempted"
+    SWAPPED = "swapped"
     FINISHED = "finished"
 
 
@@ -104,7 +114,11 @@ class RequestRecord:
             prefill round — its arrival, or the (decode-pool) time of the
             eviction that sent it back to the prefill FIFO. Keeps the two
             pool clocks causally consistent.
-        preemptions: times this turn was evicted.
+        swapped_from: while ``state`` is SWAPPED, the state to resume
+            into once the KV swaps back in (DECODE resumes decoding with
+            the pending token; anything else rejoins the prefill FIFO).
+        preemptions: times this turn was evicted (any remedy: recompute,
+            tail-trim, or swap).
         chunk_algos: planner decision per executed prefill chunk.
         admitted_at / first_token_at / finished_at: simulated timestamps.
         token_times: simulated emission time of every generated token
@@ -119,6 +133,7 @@ class RequestRecord:
     resample_on_prefill: bool = True
     cached_at_start: int = 0
     ready_at: float = 0.0
+    swapped_from: "RequestState | None" = None
     preemptions: int = 0
     chunk_algos: list[str] = field(default_factory=list)
     admitted_at: float | None = None

@@ -40,8 +40,22 @@ class Transfer:
             the pools' committed lengths).
         start: when the channel began streaming it.
         finish: when the payload is fully on the decode side.
+        requested: the simulated time the transfer was asked for (its
+            ``schedule`` call's ``now``) — a repack after a cancellation
+            may pull ``start`` earlier, but never before this.
+        wire_s: total priced wire seconds this transfer reserved
+            (``schedule`` plus any ``extend``).
+        segments: the wire intervals actually reserved — one per
+            ``schedule``/``extend`` call. ``[start, finish]`` may span
+            idle gaps between them (an extension re-enters the wire
+            later); refunds are computed per segment so gap time is
+            never mistaken for streamable time.
+        refunded_s: wire seconds handed back when the transfer was
+            cancelled before (fully) streaming; ``wire_s - refunded_s``
+            is the channel time actually sunk.
         refused: the decode pool has already refused this payload at
-            least once (admission counter de-duplication).
+            least once (admission counter de-duplication; reset when an
+            ``extend`` reships it as a new payload).
     """
 
     seq_id: int
@@ -49,7 +63,16 @@ class Transfer:
     tokens: int
     start: float
     finish: float
+    requested: float = 0.0
+    wire_s: float = 0.0
+    refunded_s: float = 0.0
+    segments: list[tuple[float, float]] = field(default_factory=list)
     refused: bool = False
+
+    @property
+    def sunk_s(self) -> float:
+        """Wire seconds wasted if this transfer was cancelled."""
+        return self.wire_s - self.refunded_s
 
 
 class KVTransferStream:
@@ -66,6 +89,9 @@ class KVTransferStream:
         self.busy_until = 0.0
         self.busy_s = 0.0
         self._in_flight: list[Transfer] = []
+        # wire time physically consumed by already-landed transfers; a
+        # cancel repack must never hand their slots to queued successors
+        self._completed_until = 0.0
 
     # ------------------------------------------------------------------ #
 
@@ -86,6 +112,8 @@ class KVTransferStream:
         transfer = Transfer(
             seq_id=seq_id, request_id=request_id, tokens=tokens,
             start=start, finish=start + duration,
+            requested=now, wire_s=duration,
+            segments=[(start, start + duration)],
         )
         self.busy_until = transfer.finish
         self.busy_s += duration
@@ -116,6 +144,11 @@ class KVTransferStream:
         duration = self.clock.price_transfer(extra_tokens)
         transfer.tokens += extra_tokens
         transfer.finish = start + duration
+        transfer.wire_s += duration
+        transfer.segments.append((start, start + duration))
+        # a reshipped payload is a new admission decision: a fresh refusal
+        # of the grown payload is a distinct event, not a duplicate
+        transfer.refused = False
         self.busy_until = max(self.busy_until, transfer.finish)
         self.busy_s += duration
 
@@ -127,20 +160,64 @@ class KVTransferStream:
         only wire state (``busy_until`` / ``busy_s`` / in-flight set).
         """
         self._in_flight.remove(transfer)
+        self._completed_until = max(self._completed_until, transfer.finish)
 
-    def cancel(self, seq_id: int) -> Transfer | None:
-        """Drop the in-flight transfer of ``seq_id`` (eviction mid-stream).
+    def cancel(self, seq_id: int, now: float) -> Transfer | None:
+        """Drop the in-flight transfer of ``seq_id`` (eviction at ``now``).
 
-        The channel time already spent is *not* refunded — the wire was
+        Wire time already *spent* by ``now`` is sunk — the channel was
         occupied whether or not the payload ends up used, which is
         exactly the cost a preemption storm inflicts on a disaggregated
-        deployment.
+        deployment. But the **un-streamed** portion is refunded: a
+        transfer cancelled while still queued (its ``start`` is in the
+        future) hands back its whole reservation, and a mid-stream cancel
+        hands back ``finish - now``. Transfers queued behind a refunded
+        reservation are re-packed earlier (each still starting no sooner
+        than its own requested time), so a phantom payload can never
+        delay its successors.
+
+        Returns the cancelled :class:`Transfer` with ``refunded_s`` set
+        (``sunk_s`` is the wire time actually wasted), or ``None`` when
+        the sequence has nothing in flight.
         """
         for transfer in self._in_flight:
             if transfer.seq_id == seq_id:
                 self._in_flight.remove(transfer)
+                release = max(now, transfer.start)
+                if now <= transfer.start:
+                    # never started streaming: the whole reservation comes
+                    # back, exactly (no float residue from finish - start)
+                    refund = transfer.wire_s
+                else:
+                    # per-segment, so the idle gap an extend() left
+                    # between wire re-entries never counts as refundable
+                    refund = sum(
+                        max(0.0, seg_end - max(now, seg_start))
+                        for seg_start, seg_end in transfer.segments
+                    )
+                transfer.refunded_s = refund
+                if refund > 0.0:
+                    self.busy_s -= refund
+                    self._repack(release)
                 return transfer
         return None
+
+    def _repack(self, release: float) -> None:
+        """Re-serialize transfers queued behind a reservation freed at
+        ``release``: anything already streaming (or streamed) keeps its
+        times; each still-queued successor moves up to the earlier of the
+        freed slot and its own requested time, FIFO order preserved.
+        Slots consumed by already-landed transfers stay consumed."""
+        busy = max(min(self.busy_until, release), self._completed_until)
+        for t in sorted(self._in_flight, key=lambda t: (t.start, t.request_id)):
+            if t.start <= release:
+                busy = max(busy, t.finish)
+                continue
+            t.start = max(t.requested, busy)
+            t.finish = t.start + t.wire_s
+            t.segments = [(t.start, t.finish)]
+            busy = max(busy, t.finish)
+        self.busy_until = busy
 
     # ------------------------------------------------------------------ #
 

@@ -16,7 +16,10 @@ class ServingMetrics:
     TTFT/TTIT samples come from the analytic simulator or the serving
     runtime's step clock (seconds); token and cache-hit accounting comes
     from the numeric engine's turn records. Preemption/eviction counters
-    are fed by the continuous-batching runtime's capacity-pressure path.
+    are fed by the continuous-batching runtime's capacity-pressure path,
+    broken out by remedy: full evictions (``preemptions``), tail-trims
+    (``trims``), and CPU swaps (``swaps_out``/``swaps_in`` with the PCIe
+    stall seconds they cost the pools).
     Pool busy-time and KV-transfer counters are fed by the (optionally
     disaggregated) runtime's event loop: per-pool utilization is
     ``pool_busy_s[pool] / makespan``, and the transfer-stall counter is
@@ -28,6 +31,13 @@ class ServingMetrics:
     turns: list[TurnRecord] = field(default_factory=list)
     preemptions: int = 0
     evicted_tokens: int = 0
+    trims: int = 0
+    trimmed_kv_tokens: int = 0
+    swaps_out: int = 0
+    swaps_in: int = 0
+    swapped_out_tokens: int = 0
+    swapped_in_tokens: int = 0
+    swap_stall_s: float = 0.0
     pool_busy_s: dict[str, float] = field(default_factory=dict)
     pool_rounds: dict[str, int] = field(default_factory=dict)
     peak_kv_utilization: dict[str, float] = field(default_factory=dict)
@@ -35,6 +45,7 @@ class ServingMetrics:
     transferred_kv_tokens: int = 0
     transfer_refusals: int = 0
     transfers_cancelled: int = 0
+    transfers_refunded: int = 0
     transfer_stall_s: float = 0.0
 
     def record_turn(self, turn: TurnRecord, *, ttft: float | None = None, ttit: float | None = None) -> None:
@@ -52,6 +63,27 @@ class ServingMetrics:
         """Count one capacity-pressure preemption and the KV it evicted."""
         self.preemptions += 1
         self.evicted_tokens += int(evicted_tokens)
+
+    def record_trim(self, trimmed_tokens: int) -> None:
+        """Count one tail-trim remedy and the KV tokens it dropped."""
+        self.trims += 1
+        self.trimmed_kv_tokens += int(trimmed_tokens)
+
+    def record_swap_out(self, tokens: int, *, stall_s: float = 0.0) -> None:
+        """Count one device->host KV swap and the pool stall it cost."""
+        if stall_s < 0:
+            raise ValueError(f"swap stall must be >= 0, got {stall_s}")
+        self.swaps_out += 1
+        self.swapped_out_tokens += int(tokens)
+        self.swap_stall_s += float(stall_s)
+
+    def record_swap_in(self, tokens: int, *, stall_s: float = 0.0) -> None:
+        """Count one host->device KV swap and the pool stall it cost."""
+        if stall_s < 0:
+            raise ValueError(f"swap stall must be >= 0, got {stall_s}")
+        self.swaps_in += 1
+        self.swapped_in_tokens += int(tokens)
+        self.swap_stall_s += float(stall_s)
 
     def record_round(self, pool: str, busy_s: float) -> None:
         """Account one engine round's busy time against ``pool``."""
@@ -72,12 +104,30 @@ class ServingMetrics:
         """Count a transfer the decode pool's admission control refused."""
         self.transfer_refusals += 1
 
-    def record_transfer_cancel(self) -> None:
-        """Count a transfer cancelled by a mid-stream eviction."""
+    def record_transfer_cancel(self, *, refunded: bool = False) -> None:
+        """Count a cancelled transfer.
+
+        Args:
+            refunded: the cancel wasted no wire time (the payload never
+                started streaming, so the channel refunded its whole
+                reservation). Refunded cancels are a subset of
+                ``transfers_cancelled``, counted once — a cancel is never
+                both sunk and refunded.
+        """
         self.transfers_cancelled += 1
+        if refunded:
+            self.transfers_refunded += 1
 
     def record_transfer_stall(self, seconds: float) -> None:
-        """Account decode-pool idle time spent waiting on the KV stream."""
+        """Account decode-pool idle time spent waiting on the KV stream.
+
+        Raises:
+            ValueError: negative stall — a symptom of cancel-refund
+                accounting gone wrong (a repacked schedule must never
+                place a finish behind the clock that waited on it).
+        """
+        if seconds < 0:
+            raise ValueError(f"transfer stall must be >= 0, got {seconds}")
         self.transfer_stall_s += float(seconds)
 
     # ------------------------------- views ------------------------------ #
@@ -143,12 +193,24 @@ class ServingMetrics:
                 f"{self.percentile_ttit(50) * 1e3:.2f}/{self.percentile_ttit(95) * 1e3:.2f}/"
                 f"{self.percentile_ttit(99) * 1e3:.2f}ms"
             )
+        if self.trims:
+            lines.append(
+                f"tail trims: {self.trims} ({self.trimmed_kv_tokens} KV tokens dropped)"
+            )
+        if self.swaps_out or self.swaps_in:
+            lines.append(
+                f"KV swaps: {self.swaps_out} out/{self.swaps_in} in "
+                f"({self.swapped_out_tokens} tokens out, "
+                f"{self.swapped_in_tokens} back, "
+                f"{self.swap_stall_s:.3f}s swap stall)"
+            )
         if self.transfers or self.transfer_refusals or self.transfers_cancelled:
             lines.append(
                 f"KV transfers: {self.transfers} "
                 f"({self.transferred_kv_tokens} tokens, "
                 f"{self.transfer_refusals} refused, "
-                f"{self.transfers_cancelled} cancelled, "
+                f"{self.transfers_cancelled} cancelled "
+                f"({self.transfers_refunded} refunded), "
                 f"{self.transfer_stall_s:.3f}s decode stall)"
             )
         if self.pool_busy_s:

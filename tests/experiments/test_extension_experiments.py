@@ -7,6 +7,7 @@ from repro.experiments import (
     disaggregation,
     gqa_sensitivity,
     pp_vs_cp,
+    preemption_modes,
     serving_load,
 )
 
@@ -78,3 +79,34 @@ class TestServingLoad:
         per_token = result.column("mean ms/token")
         for colo, disagg in zip(per_token[0::2], per_token[1::2]):
             assert disagg < colo
+
+
+class TestPreemptionModes:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return preemption_modes.run()
+
+    def test_three_modes_per_capacity(self, result):
+        modes = result.column("preemption")
+        n_caps = len(modes) // len(preemption_modes.MODES)
+        assert modes == list(preemption_modes.MODES) * n_caps
+
+    def test_trim_and_swap_beat_recompute_on_p95_ttft(self, result):
+        """The acceptance headline: both cheaper remedies improve tail
+        TTFT over vLLM-style recomputation at every swept capacity."""
+        p95 = result.column("p95 TTFT (s)")
+        for i in range(0, len(p95), 3):
+            recompute, trim, swap = p95[i : i + 3]
+            assert trim < recompute
+            assert swap < recompute
+
+    def test_swap_skips_recompute_rounds(self, result):
+        """Swap resumes without re-prefilling, so it runs strictly fewer
+        prefill rounds than recompute on the same pressured trace."""
+        rounds = result.column("prefill rounds")
+        for i in range(0, len(rounds), 3):
+            assert rounds[i + 2] < rounds[i]
+
+    def test_remedies_fired(self, result):
+        assert sum(result.column("trims")) > 0
+        assert any("/" in s and s != "0/0" for s in result.column("swaps out/in"))

@@ -110,6 +110,70 @@ class TestBookkeeping:
         assert cache.tokens(1, layer=1) == 0
 
 
+class TestDropTail:
+    def test_drops_positions_at_or_above_cutoff(self):
+        cache = make_cache()
+        for layer in range(2):
+            # interleaved positions, as ring sharding produces
+            cache.append(layer, 1, *kv_chunk(3, 1.0), np.array([0, 5, 2]))
+            cache.append(layer, 1, *kv_chunk(2, 2.0), np.array([7, 3]))
+        freed = cache.drop_tail(1, from_pos=4)
+        assert freed == 2  # positions 5 and 7 at layer 0
+        for layer in range(2):
+            got = cache.get(layer, [1])
+            assert sorted(got.positions.tolist()) == [0, 2, 3]
+        # prefix values survive intact
+        got = cache.get(0, [1])
+        assert got.k[got.positions.tolist().index(3), 0, 0] == 2.0
+
+    def test_whole_chunk_dropped(self):
+        cache = make_cache()
+        cache.append(0, 1, *kv_chunk(2), np.array([0, 1]))
+        cache.append(0, 1, *kv_chunk(2), np.array([4, 5]))
+        assert cache.drop_tail(1, from_pos=2) == 2
+        assert cache.tokens(1) == 2
+
+    def test_everything_dropped_removes_stream(self):
+        cache = make_cache()
+        cache.append(0, 1, *kv_chunk(3), np.array([0, 1, 2]))
+        assert cache.drop_tail(1, from_pos=0) == 3
+        assert cache.tokens(1) == 0
+        assert cache.sequence_ids() == []
+
+    def test_nothing_to_drop(self):
+        cache = make_cache()
+        cache.append(0, 1, *kv_chunk(2), np.array([0, 1]))
+        assert cache.drop_tail(1, from_pos=2) == 0
+        assert cache.drop_tail(99, from_pos=0) == 0
+        assert cache.tokens(1) == 2
+
+    def test_allocator_blocks_returned(self):
+        cache = make_cache(capacity_tokens=32, block_size=4)
+        cache.append(0, 1, *kv_chunk(10), np.arange(10))
+        before = cache.free_tokens()
+        freed = cache.drop_tail(1, from_pos=3)
+        assert freed == 7
+        assert cache.free_tokens() == before + 7
+        # the freed WHOLE blocks are claimable by another sequence (the
+        # slack in seq 1's kept partial block is not)
+        assert cache.can_append({2: 7 * 4})
+        assert not cache.can_append({2: 7 * 4 + 1})
+
+    def test_quantized_chunks_sliced(self):
+        cache = make_cache(quantized=True)
+        k, v = kv_chunk(4, 3.0)
+        cache.append(0, 1, k, v, np.array([0, 1, 2, 3]))
+        assert cache.drop_tail(1, from_pos=2) == 2
+        got = cache.get(0, [1])
+        np.testing.assert_array_equal(got.positions, [0, 1])
+        np.testing.assert_allclose(got.k, k[:2], rtol=1e-2)
+
+    def test_validation(self):
+        cache = make_cache()
+        with pytest.raises(ValueError):
+            cache.drop_tail(1, from_pos=-1)
+
+
 class TestValidation:
     def test_bad_layer(self):
         cache = make_cache()

@@ -72,6 +72,68 @@ class TestPagedAllocator:
         alloc.append(("a",), 0)
         assert alloc.used_blocks == 0
 
+    def test_zero_append_registers_no_phantom_stream(self):
+        """Regression: ``append(key, 0)`` on a fresh key used to leave a
+        zero-block entry in ``streams()`` forever, polluting every
+        victim-selection walk over it."""
+        alloc = PagedAllocator(num_blocks=2, block_size=4)
+        alloc.append(("ghost",), 0)
+        assert alloc.streams() == []
+        assert alloc.stream_tokens(("ghost",)) == 0
+        assert alloc.free_tokens() == 8
+        # releasing the never-registered key is a clean no-op
+        assert alloc.release(("ghost",)) == 0
+        # zero-append to an EXISTING stream stays a plain no-op
+        alloc.append(("a",), 3)
+        alloc.append(("a",), 0)
+        assert alloc.streams() == [("a",)]
+        assert alloc.stream_tokens(("a",)) == 3
+
+    def test_streams_never_lists_zero_block_entries(self):
+        """Every listed stream owns at least one block."""
+        alloc = PagedAllocator(num_blocks=4, block_size=4)
+        alloc.append(("a",), 0)
+        alloc.append(("b",), 5)
+        alloc.release_tail(("b",), 5)
+        alloc.append(("c",), 2)
+        assert alloc.streams() == [("c",)]
+
+    def test_release_unknown_is_noop(self):
+        alloc = PagedAllocator(num_blocks=1, block_size=4)
+        assert alloc.release(("nope",)) == 0
+        assert alloc.free_blocks == 1
+
+    def test_release_tail_frees_whole_blocks_only(self):
+        alloc = PagedAllocator(num_blocks=4, block_size=4)
+        alloc.append(("a",), 13)  # 4 blocks: 4+4+4+1
+        assert alloc.release_tail(("a",), 1) == 1  # 12 left: exactly 3 blocks
+        assert alloc.stream_tokens(("a",)) == 12
+        assert alloc.release_tail(("a",), 2) == 0  # 10 left: still 3 blocks
+        assert alloc.stream_tokens(("a",)) == 10
+        assert alloc.release_tail(("a",), 7) == 2  # 3 left: 1 block
+        assert alloc.free_blocks == 3
+        # slack in the kept partial block is appendable again
+        assert alloc.free_tokens() == 3 * 4 + 1
+
+    def test_release_tail_to_zero_deregisters(self):
+        alloc = PagedAllocator(num_blocks=2, block_size=4)
+        alloc.append(("a",), 6)
+        assert alloc.release_tail(("a",), 6) == 2
+        assert alloc.streams() == []
+        assert alloc.free_blocks == 2
+
+    def test_release_tail_validation(self):
+        alloc = PagedAllocator(num_blocks=2, block_size=4)
+        alloc.append(("a",), 3)
+        with pytest.raises(ValueError):
+            alloc.release_tail(("a",), -1)
+        with pytest.raises(ValueError):
+            alloc.release_tail(("a",), 4)  # more than stored
+        with pytest.raises(ValueError):
+            alloc.release_tail(("missing",), 1)
+        assert alloc.release_tail(("a",), 0) == 0
+        assert alloc.release_tail(("missing",), 0) == 0
+
     def test_validation(self):
         with pytest.raises(ValueError):
             PagedAllocator(num_blocks=-1, block_size=4)

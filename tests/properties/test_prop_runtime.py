@@ -14,6 +14,12 @@ for any prefill/decode pool split (any world sizes), any per-pool
 capacities, any transfer schedule and any forced-preemption storm
 (including evictions that cancel transfers mid-stream), the decoded
 tokens stay identical to sequential replay.
+
+The preemption-remedy variants extend it over *what eviction does*: any
+tail-trim schedule (partial eviction, suffix-only re-prefill) and any
+CPU-swap schedule (host-store export/import, including host-store
+capacity fallbacks and swap-in evictions) must also leave every token
+identical — the remedies may change only what an eviction costs.
 """
 
 import numpy as np
@@ -180,6 +186,132 @@ class TestRuntimeExactness:
             policy=ChunkedPrefillPolicy(
                 chunk_tokens=chunk, max_tokens_per_round=2 * chunk, max_seqs_per_round=4
             ),
+        )
+        rids = submit_scripts_to_runtime(runtime, scripts, think_time_s=think)
+        steps = 0
+        forced = 0
+        active_states = (
+            RequestState.PREFILL, RequestState.KV_TRANSFER, RequestState.DECODE
+        )
+        while runtime.step():
+            steps += 1
+            if steps > 200_000:
+                pytest.fail("runtime did not drain")
+            if steps % every == 0 and forced < 25:
+                active = [
+                    r
+                    for r in runtime.report().records.values()
+                    if r.state in active_states
+                    and (
+                        runtime.engine.context_length(r.seq_id) > 0
+                        or runtime.decode_engine.context_length(r.seq_id) > 0
+                    )
+                ]
+                if active:
+                    victim = max(active, key=lambda r: (r.request.arrival, r.request_id))
+                    runtime.preempt(victim.request_id)
+                    forced += 1
+        report = runtime.report()
+        reference = replay_scripts_sequential(lambda: fresh_engine(world_d), scripts)
+        for script in scripts:
+            got = [report.generated(rid) for rid in rids[script.seq_id]]
+            assert got == reference[script.seq_id]
+
+    @given(trace_case(), st.sampled_from(["trim", "swap"]))
+    @settings(**SETTINGS)
+    def test_preemption_remedies_identical_to_sequential_replay(self, case, mode):
+        """Organic capacity pressure under tail-trim / CPU-swap remedies
+        never changes tokens."""
+        scripts, world, chunk, capacity, think = case
+        engine = ContextParallelEngine(MODEL, world_size=world, capacity_tokens=capacity)
+        runtime = ContinuousBatchingRuntime(
+            engine,
+            policy=ChunkedPrefillPolicy(
+                chunk_tokens=chunk, max_tokens_per_round=2 * chunk, max_seqs_per_round=4
+            ),
+            preemption=mode,
+            # a tight host store exercises the swap->full-evict fallback
+            swap_capacity_tokens=256 if mode == "swap" else None,
+        )
+        rids = submit_scripts_to_runtime(runtime, scripts, think_time_s=think)
+        report = runtime.run(max_steps=200_000)
+        reference = replay_scripts_sequential(lambda: fresh_engine(world), scripts)
+        for script in scripts:
+            got = [report.generated(rid) for rid in rids[script.seq_id]]
+            assert got == reference[script.seq_id], (
+                f"seq {script.seq_id} diverged (mode={mode}, capacity={capacity}, "
+                f"trims={report.metrics.trims}, swaps={report.metrics.swaps_out}, "
+                f"full evicts={report.metrics.preemptions})"
+            )
+        assert all(r.state is RequestState.FINISHED for r in report.records.values())
+        assert report.metrics.swaps_in == report.metrics.swaps_out
+
+    @given(trace_case(), st.sampled_from(["trim", "swap"]), st.integers(1, 6))
+    @settings(**SETTINGS)
+    def test_forced_eviction_storm_with_remedies(self, case, mode, every):
+        """A forced-eviction storm resolved by tail-trims / CPU swaps —
+        far more remedy applications than capacity pressure produces —
+        never changes tokens (the ``--preemption swap`` bit-check)."""
+        scripts, world, chunk, _, think = case
+        engine = ContextParallelEngine(MODEL, world_size=world)
+        runtime = ContinuousBatchingRuntime(
+            engine,
+            policy=ChunkedPrefillPolicy(
+                chunk_tokens=chunk, max_tokens_per_round=2 * chunk, max_seqs_per_round=4
+            ),
+            preemption=mode,
+        )
+        rids = submit_scripts_to_runtime(runtime, scripts, think_time_s=think)
+        steps = 0
+        forced = 0
+        while runtime.step():
+            steps += 1
+            if steps > 200_000:
+                pytest.fail("runtime did not drain")
+            if steps % every == 0 and forced < 25:
+                active = [
+                    r
+                    for r in runtime.report().records.values()
+                    if r.state in (RequestState.PREFILL, RequestState.DECODE)
+                    and runtime.engine.context_length(r.seq_id) > 0
+                ]
+                if active:
+                    victim = max(active, key=lambda r: (r.request.arrival, r.request_id))
+                    runtime.preempt(victim.request_id)
+                    forced += 1
+        report = runtime.report()
+        if forced:
+            # every forced preempt applied exactly one remedy: the mode's
+            # (trim/swap), or its full-evict fallback on tiny contexts
+            m = report.metrics
+            assert m.trims + m.swaps_out + m.preemptions >= forced
+        reference = replay_scripts_sequential(lambda: fresh_engine(world), scripts)
+        for script in scripts:
+            got = [report.generated(rid) for rid in rids[script.seq_id]]
+            assert got == reference[script.seq_id]
+
+    @given(
+        trace_case(),
+        st.sampled_from([(1, 2), (2, 1), (2, 2)]),
+        st.sampled_from(["trim", "swap"]),
+        st.integers(2, 5),
+    )
+    @settings(**SETTINGS)
+    def test_disaggregated_storm_with_remedies(self, case, split, mode, every):
+        """Remedy storms across disaggregated pools (decode-pool trims
+        reship deltas, decode-pool swaps skip the wire entirely) never
+        change tokens."""
+        scripts, _world, chunk, _, think = case
+        world_p, world_d = split
+        engine = ContextParallelEngine(MODEL, world_size=world_p)
+        decode_engine = ContextParallelEngine(MODEL, world_size=world_d)
+        runtime = ContinuousBatchingRuntime(
+            engine,
+            decode_engine=decode_engine,
+            policy=ChunkedPrefillPolicy(
+                chunk_tokens=chunk, max_tokens_per_round=2 * chunk, max_seqs_per_round=4
+            ),
+            preemption=mode,
         )
         rids = submit_scripts_to_runtime(runtime, scripts, think_time_s=think)
         steps = 0

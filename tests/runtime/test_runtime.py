@@ -300,6 +300,195 @@ class TestPreemption:
         assert report.generated(young) == sequential_tokens(prompt(8, seed=1), 40, world=1)
 
 
+class TestPreemptionModes:
+    """Tail-trim and CPU-swap remedies: cheaper than recompute, never
+    different tokens."""
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError, match="preemption"):
+            make_runtime(preemption="hibernate")
+        with pytest.raises(ValueError, match="swap_capacity"):
+            make_runtime(preemption="trim", swap_capacity_tokens=100)
+        with pytest.raises(ValueError, match="swap_capacity"):
+            make_runtime(preemption="swap", swap_capacity_tokens=-1)
+
+    def test_trim_keeps_prefix_resident(self):
+        """A trimmed decode victim keeps a KV prefix and re-prefills only
+        the dropped suffix — exactly."""
+        rt = make_runtime(preemption="trim")
+        rid = rt.submit(TurnRequest(request_id=-1, seq_id=0, prompt=prompt(40), max_new_tokens=8))
+        trimmed = False
+        while rt.step():
+            rec = rt.report().records[rid]
+            if not trimmed and rec.state is RequestState.DECODE and len(rec.generated) == 4:
+                before = rt.engine.context_length(0)
+                rt.preempt(rid)
+                after = rt.engine.context_length(0)
+                assert 0 < after < before
+                assert rec.prefill_done == after
+                trimmed = True
+        assert trimmed
+        report = rt.report()
+        assert report.metrics.trims == 1
+        assert report.metrics.trimmed_kv_tokens > 0
+        assert report.metrics.preemptions == 0  # remedy applied, no full evict
+        assert report.generated(rid) == sequential_tokens(prompt(40), 8)
+
+    def test_trim_under_capacity_pressure_stays_exact(self):
+        gen = WorkloadGenerator(VOCAB, seed=5)
+        scripts = [
+            gen.conversation(sid, turns=2, first_prompt=48, response_range=(4, 6))
+            for sid in range(4)
+        ]
+        rt = make_runtime(capacity=80, preemption="trim")
+        rid_map = {s.seq_id: rt.submit_script(s, arrival=float(i)) for i, s in enumerate(scripts)}
+        report = rt.run(max_steps=100_000)
+        assert report.metrics.trims > 0
+        for script in scripts:
+            engine = ContextParallelEngine(LlamaModel(tiny_config(), seed=0), world_size=2)
+            session = ChatSession(engine, script.seq_id)
+            for rid, p, b in zip(rid_map[script.seq_id], script.prompts, script.response_budgets):
+                assert report.generated(rid) == list(session.send(p, max_new_tokens=b).generated)
+
+    def test_trimmed_idle_conversation_resumes_from_prefix(self):
+        """An idle conversation trimmed between turns re-prefills only
+        the trimmed suffix when its next turn admits."""
+        rt = make_runtime(capacity=64, preemption="trim")
+        gen = WorkloadGenerator(VOCAB, seed=2)
+        script = gen.conversation(0, turns=2, first_prompt=30, response_range=(3, 3))
+        rids = rt.submit_script(script, think_time=500.0)
+        rt.submit(
+            TurnRequest(
+                request_id=-1, seq_id=99, prompt=prompt(90, seed=4), max_new_tokens=2,
+                arrival=20.0,
+            )
+        )
+        report = rt.run(max_steps=100_000)
+        assert report.metrics.trims > 0
+        turn2 = report.records[rids[1]]
+        # the resident prefix counted as cached when turn 2 started
+        assert 0 < turn2.cached_at_start
+        engine = ContextParallelEngine(LlamaModel(tiny_config(), seed=0), world_size=2)
+        session = ChatSession(engine, 0)
+        for rid, p, b in zip(rids, script.prompts, script.response_budgets):
+            assert report.generated(rid) == list(session.send(p, max_new_tokens=b).generated)
+
+    def test_swap_decode_victim_resumes_without_recompute(self):
+        """A swapped decode victim goes SWAPPED, swaps back in, and
+        resumes decoding directly — zero extra prefill rounds."""
+        rt = make_runtime(preemption="swap")
+        rid = rt.submit(TurnRequest(request_id=-1, seq_id=0, prompt=prompt(40), max_new_tokens=8))
+        swapped = False
+        while rt.step():
+            rec = rt.report().records[rid]
+            if not swapped and rec.state is RequestState.DECODE and len(rec.generated) == 4:
+                rt.preempt(rid)
+                assert rec.state is RequestState.SWAPPED
+                assert rt.engine.context_length(0) == 0
+                swapped = True
+        assert swapped
+        report = rt.report()
+        m = report.metrics
+        assert m.swaps_out == 1 and m.swaps_in == 1
+        assert m.swapped_out_tokens == m.swapped_in_tokens > 0
+        assert m.preemptions == 0
+        assert report.generated(rid) == sequential_tokens(prompt(40), 8)
+        # no re-prefill happened: same prefill rounds as an undisturbed run
+        undisturbed = make_runtime()
+        undisturbed.submit(
+            TurnRequest(request_id=-1, seq_id=0, prompt=prompt(40), max_new_tokens=8)
+        )
+        assert report.prefill_rounds == undisturbed.run(max_steps=10_000).prefill_rounds
+
+    def test_swap_mid_prefill_resumes_exactly(self):
+        rt = make_runtime(chunk=8, round_budget=8, preemption="swap")
+        rid = rt.submit(TurnRequest(request_id=-1, seq_id=0, prompt=prompt(40), max_new_tokens=4))
+        swapped = False
+        while rt.step():
+            rec = rt.report().records[rid]
+            if not swapped and rec.state is RequestState.PREFILL and rec.prefill_done >= 16:
+                rt.preempt(rid)
+                assert rec.state is RequestState.SWAPPED
+                swapped = True
+        assert swapped
+        assert rt.report().generated(rid) == sequential_tokens(prompt(40), 4)
+
+    def test_swap_store_capacity_falls_back_to_full_evict(self):
+        """A host store too small for the victim declines the swap; the
+        eviction degrades to recompute and stays exact."""
+        rt = make_runtime(preemption="swap", swap_capacity_tokens=4)
+        rid = rt.submit(TurnRequest(request_id=-1, seq_id=0, prompt=prompt(40), max_new_tokens=6))
+        forced = False
+        while rt.step():
+            rec = rt.report().records[rid]
+            if not forced and rec.state is RequestState.DECODE and len(rec.generated) == 2:
+                rt.preempt(rid)
+                assert rec.state is RequestState.PREEMPTED  # not SWAPPED
+                forced = True
+        assert forced
+        report = rt.report()
+        assert report.metrics.swaps_out == 0
+        assert report.metrics.preemptions == 1
+        assert report.generated(rid) == sequential_tokens(prompt(40), 6)
+
+    def test_swapped_idle_conversation_restored_for_next_turn(self):
+        """An idle conversation swapped out between turns swaps back in
+        when its next turn arrives — the history is never recomputed."""
+        rt = make_runtime(capacity=64, preemption="swap")
+        gen = WorkloadGenerator(VOCAB, seed=2)
+        script = gen.conversation(0, turns=2, first_prompt=30, response_range=(3, 3))
+        rids = rt.submit_script(script, think_time=500.0)
+        rt.submit(
+            TurnRequest(
+                request_id=-1, seq_id=99, prompt=prompt(90, seed=4), max_new_tokens=2,
+                arrival=20.0,
+            )
+        )
+        report = rt.run(max_steps=100_000)
+        m = report.metrics
+        assert m.swaps_out >= 1 and m.swaps_in == m.swaps_out
+        turn2 = report.records[rids[1]]
+        # the whole history counted as cached: restored, not re-prefilled
+        assert turn2.cached_at_start == 30 + 3
+        engine = ContextParallelEngine(LlamaModel(tiny_config(), seed=0), world_size=2)
+        session = ChatSession(engine, 0)
+        for rid, p, b in zip(rids, script.prompts, script.response_budgets):
+            assert report.generated(rid) == list(session.send(p, max_new_tokens=b).generated)
+
+    def test_swap_under_capacity_pressure_stays_exact(self):
+        gen = WorkloadGenerator(VOCAB, seed=5)
+        scripts = [
+            gen.conversation(sid, turns=2, first_prompt=48, response_range=(4, 6))
+            for sid in range(4)
+        ]
+        rt = make_runtime(capacity=80, preemption="swap", swap_capacity_tokens=400)
+        rid_map = {s.seq_id: rt.submit_script(s, arrival=float(i)) for i, s in enumerate(scripts)}
+        report = rt.run(max_steps=100_000)
+        assert report.metrics.swaps_out > 0
+        assert report.metrics.swaps_in == report.metrics.swaps_out
+        for script in scripts:
+            engine = ContextParallelEngine(LlamaModel(tiny_config(), seed=0), world_size=2)
+            session = ChatSession(engine, script.seq_id)
+            for rid, p, b in zip(rid_map[script.seq_id], script.prompts, script.response_budgets):
+                assert report.generated(rid) == list(session.send(p, max_new_tokens=b).generated)
+
+    def test_swap_cost_priced_by_clock(self):
+        """Swap-out + swap-in each stall the pool by the clock's price."""
+        clock = UnitStepClock(swap_cost=5.0)
+        rt = make_runtime(preemption="swap", clock=clock)
+        rid = rt.submit(TurnRequest(request_id=-1, seq_id=0, prompt=prompt(24), max_new_tokens=6))
+        swapped = False
+        while rt.step():
+            rec = rt.report().records[rid]
+            if not swapped and rec.state is RequestState.DECODE and len(rec.generated) == 2:
+                before = rt.now
+                rt.preempt(rid)
+                assert rt.now == pytest.approx(before + 5.0)
+                swapped = True
+        assert swapped
+        assert rt.report().metrics.swap_stall_s == pytest.approx(10.0)
+
+
 class TestMetricsAndClock:
     def test_unit_clock_timing(self):
         rt = make_runtime(clock=UnitStepClock(prefill_cost=2.0, decode_cost=1.0))

@@ -99,6 +99,57 @@ class TestServingMetrics:
         assert m.transfer_stall_s == pytest.approx(3.0)
         assert "KV transfers: 2 (48 tokens, 1 refused, 1 cancelled" in m.summary()
 
+    def test_refunded_cancel_counts_once(self):
+        """A refunded cancel is a cancel AND a refund — never double-
+        counted into either tally, and the refunded subset can never
+        exceed the cancel total."""
+        m = ServingMetrics()
+        m.record_transfer_cancel(refunded=True)
+        m.record_transfer_cancel(refunded=False)
+        m.record_transfer_cancel()
+        assert m.transfers_cancelled == 3
+        assert m.transfers_refunded == 1
+        assert m.transfers_refunded <= m.transfers_cancelled
+        assert "3 cancelled (1 refunded)" in m.summary()
+
+    def test_negative_transfer_stall_rejected(self):
+        """Negative stall would mean a repacked transfer schedule placed
+        a finish behind the clock that waited on it — reject loudly
+        instead of silently corrupting the counter."""
+        m = ServingMetrics()
+        m.record_transfer_stall(0.0)
+        with pytest.raises(ValueError):
+            m.record_transfer_stall(-1e-9)
+        assert m.transfer_stall_s == 0.0
+
+    def test_trim_accounting(self):
+        m = ServingMetrics()
+        m.record_trim(24)
+        m.record_trim(8)
+        assert m.trims == 2
+        assert m.trimmed_kv_tokens == 32
+        assert "tail trims: 2 (32 KV tokens dropped)" in m.summary()
+
+    def test_swap_accounting(self):
+        m = ServingMetrics()
+        m.record_swap_out(120, stall_s=0.25)
+        m.record_swap_out(40, stall_s=0.05)
+        m.record_swap_in(120, stall_s=0.25)
+        assert m.swaps_out == 2 and m.swaps_in == 1
+        assert m.swapped_out_tokens == 160
+        assert m.swapped_in_tokens == 120
+        assert m.swap_stall_s == pytest.approx(0.55)
+        assert "KV swaps: 2 out/1 in (160 tokens out, 120 back" in m.summary()
+        with pytest.raises(ValueError):
+            m.record_swap_out(1, stall_s=-0.1)
+        with pytest.raises(ValueError):
+            m.record_swap_in(1, stall_s=-0.1)
+
+    def test_empty_summary_hides_remedy_lines(self):
+        text = ServingMetrics().summary()
+        assert "tail trims" not in text
+        assert "KV swaps" not in text
+
     def test_kv_occupancy_keeps_peak(self):
         m = ServingMetrics()
         m.record_kv_occupancy("decode", 0.25)

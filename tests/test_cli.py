@@ -78,6 +78,29 @@ class TestCommands:
         assert main(["serve", "--world", "4", "--disaggregate", "1:1"]) == 2
         assert "conflicts" in capsys.readouterr().err
 
+    def test_serve_preemption_swap_verifies_exactness(self, capsys):
+        assert main([
+            "serve", "--sessions", "2", "--turns", "2", "--world", "2",
+            "--capacity", "64", "--preemption", "swap", "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "preemption: swap" in out
+        assert "KV swaps:" in out
+        assert "verify vs sequential replay: identical" in out
+
+    def test_serve_preemption_trim_verifies_exactness(self, capsys):
+        assert main([
+            "serve", "--sessions", "2", "--turns", "2", "--world", "2",
+            "--capacity", "64", "--preemption", "trim", "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "tail trims:" in out
+        assert "verify vs sequential replay: identical" in out
+
+    def test_serve_rejects_swap_capacity_without_swap(self, capsys):
+        assert main(["serve", "--swap-capacity", "128"]) == 2
+        assert "--preemption swap" in capsys.readouterr().err
+
     def test_trace_writes_json(self, capsys, tmp_path):
         import json
 
