@@ -120,6 +120,46 @@ def bench_ring_decode_cp4(benchmark):
     benchmark(run)
 
 
+def bench_runtime_decode_hotloop(benchmark):
+    """Batched pass-Q decode under a large decode trace: 24 sequences,
+    ~1.5K cached tokens spread round-robin over 4 ranks, 4 consecutive
+    decode steps per round (the rotating-assignment offsets included).
+
+    This is the runtime's hot loop at serving scale — post PR 1 the
+    engine's prefill is dense-linear-bound, so decode rounds dominate
+    replayed-trace wall time (the ROADMAP's decode-path perf item)."""
+    world, b, t = 4, 24, 1536
+    rng = np.random.default_rng(7)
+    k_all = rng.standard_normal((t, 2, 32))
+    v_all = rng.standard_normal((t, 2, 32))
+    seq_all = np.arange(t, dtype=np.int64) % b
+    pos_all = np.arange(t, dtype=np.int64) // b
+    kvs = [
+        ShardedKV(
+            k=k_all[r::world], v=v_all[r::world],
+            positions=pos_all[r::world], seq_ids=seq_all[r::world],
+        )
+        for r in range(world)
+    ]
+    batch = DecodeBatch(
+        q=rng.standard_normal((b, 8, 32)),
+        positions=np.full(b, t // b, dtype=np.int64),
+        seq_ids=np.arange(b, dtype=np.int64),
+    )
+    group = SimProcessGroup(world)
+
+    def run():
+        return [
+            ring_passq_decode(group, kvs, batch, step=step, block_size=64)
+            for step in range(4)
+        ]
+
+    benchmark(run)
+    benchmark.extra_info["batch"] = b
+    benchmark.extra_info["cached_tokens"] = t
+    benchmark.extra_info["steps_per_round"] = 4
+
+
 def bench_engine_prefill_cp2(benchmark):
     model = LlamaModel(tiny_config(), seed=0)
     toks = np.arange(64) % model.config.vocab_size
@@ -216,3 +256,48 @@ def bench_preemption_modes(benchmark):
         )
     benchmark.extra_info["swaps"] = reports["swap"].metrics.swaps_out
     benchmark.extra_info["trims"] = reports["trim"].metrics.trims
+
+
+def bench_prefix_reuse(benchmark):
+    """One templated shared-prefix trace replayed with the radix prefix
+    cache on and off, back to back, bit-checked against each other.
+
+    Wall time covers both runs; ``extra_info`` records the hit rate,
+    reused tokens and per-mode prefill rounds so the JSON shows the
+    compute the cache actually skipped."""
+    from repro.runtime import ContinuousBatchingRuntime
+    from repro.serving.scheduler import ChunkedPrefillPolicy
+    from repro.workloads.generator import WorkloadGenerator
+    from repro.workloads.replay import collect_generated, submit_scripts_to_runtime
+
+    model = LlamaModel(tiny_config(), seed=0)
+    gen = WorkloadGenerator(model.config.vocab_size, seed=11)
+    scripts = gen.shared_prefix_traffic(
+        n_system_prompts=2, n_fewshot_variants=2, conversations=6,
+        system_tokens=32, fewshot_tokens=12, unique_range=(6, 12),
+        turns=1, response_range=(3, 5),
+    )
+
+    def run():
+        out = {}
+        for cache_on in (True, False):
+            runtime = ContinuousBatchingRuntime(
+                ContextParallelEngine(model, world_size=2),
+                policy=ChunkedPrefillPolicy(
+                    chunk_tokens=16, max_tokens_per_round=32, max_seqs_per_round=4
+                ),
+                prefix_cache=cache_on,
+            )
+            rids = submit_scripts_to_runtime(runtime, scripts, think_time_s=2.0)
+            out[cache_on] = (runtime.run(max_steps=200_000), rids)
+        return out
+
+    out = benchmark(run)
+    reports = {on: report for on, (report, _) in out.items()}
+    tokens = {on: collect_generated(report, rids) for on, (report, rids) in out.items()}
+    assert tokens[True] == tokens[False]
+    m = reports[True].metrics
+    benchmark.extra_info["hit_rate"] = round(m.prefix_hit_rate, 3)
+    benchmark.extra_info["reused_tokens"] = m.prefix_reused_tokens
+    benchmark.extra_info["prefill_rounds_cached"] = reports[True].prefill_rounds
+    benchmark.extra_info["prefill_rounds_cold"] = reports[False].prefill_rounds

@@ -17,8 +17,14 @@ Commands:
   (§4.3); ``--preemption {recompute,trim,swap}`` picks the eviction
   remedy (full re-prefill, tail-trim + suffix re-prefill, or CPU-side KV
   swap priced at PCIe bandwidth, bounded by ``--swap-capacity``);
-  ``--verify`` bit-checks every decoded token against sequential
-  per-conversation replay.
+  ``--prefix-cache`` turns on shared-prefix KV reuse (a radix index over
+  committed tokens with refcounted copy-on-write paged blocks);
+  ``--traffic shared-prefix`` replays the templated N-system-prompts x
+  M-few-shot-variants workload that exercises it;
+  ``--policy {fifo,srpf}`` picks the chunk-packing order
+  (shortest-remaining-prefill-first trades head-of-line blocking for
+  mean TTFT); ``--verify`` bit-checks every decoded token against
+  sequential per-conversation replay.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         gqa_sensitivity,
         pp_vs_cp,
         preemption_modes,
+        prefix_reuse,
         report,
         serving_load,
     )
@@ -49,6 +56,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     results.append(serving_load.run_runtime())
     results.append(disagg_runtime.run())
     results.append(preemption_modes.run())
+    results.append(prefix_reuse.run())
     if not args.fast:
         results.append(serving_load.run())
     for res in results:
@@ -162,13 +170,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     model = LlamaModel(tiny_config(), seed=0)
     gen = WorkloadGenerator(model.config.vocab_size, seed=args.seed)
-    scripts = [
-        gen.conversation(
-            sid, turns=args.turns, first_prompt=args.first_prompt,
-            followup_range=(6, 12), response_range=(4, 6),
+    if args.traffic == "shared-prefix":
+        scripts = gen.shared_prefix_traffic(
+            n_system_prompts=max(1, args.sessions // 4),
+            n_fewshot_variants=2,
+            conversations=args.sessions,
+            system_tokens=args.first_prompt,
+            fewshot_tokens=max(1, args.first_prompt // 3),
+            unique_range=(6, 12),
+            turns=args.turns,
+            followup_range=(6, 12),
+            response_range=(4, 6),
         )
-        for sid in range(args.sessions)
-    ]
+    else:
+        scripts = [
+            gen.conversation(
+                sid, turns=args.turns, first_prompt=args.first_prompt,
+                followup_range=(6, 12), response_range=(4, 6),
+            )
+            for sid in range(args.sessions)
+        ]
     host = gti_host() if args.platform == "gti" else gtt_host()
     sim = LatencySimulator(llama3_405b_config(), host)
     pools = None
@@ -210,10 +231,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         chunk_tokens=args.chunk,
         max_tokens_per_round=args.round_budget,
         max_seqs_per_round=8,
+        order=args.policy,
     )
     remedy = dict(
         preemption=args.preemption,
         swap_capacity_tokens=args.swap_capacity,
+        prefix_cache=args.prefix_cache,
     )
     if pools is None:
         engine = ContextParallelEngine(
@@ -247,10 +270,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     report = runtime.run(max_steps=1_000_000)
 
     cap = "unbounded" if args.capacity is None else str(args.capacity)
+    extras = f"policy: {args.policy}"
+    if args.prefix_cache:
+        extras += ", prefix cache: on"
     print(
-        f"served {args.sessions} sessions x {args.turns} turns on {deploy} "
+        f"served {args.sessions} sessions x {args.turns} turns "
+        f"({args.traffic} traffic) on {deploy} "
         f"(KV capacity/rank: {cap}, chunk: {args.chunk}, "
-        f"preemption: {args.preemption}, "
+        f"preemption: {args.preemption}, {extras}, "
         f"priced as 405B on CP{args.priced_ranks} {host.name})"
     )
     print(f"rounds: {report.prefill_rounds} prefill, {report.decode_rounds} decode")
@@ -348,6 +375,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--swap-capacity", type=int, default=None,
         help="host-side KV store budget in tokens per pool "
              "(default unbounded; only with --preemption swap)",
+    )
+    p_serve.add_argument(
+        "--prefix-cache", action="store_true",
+        help="shared-prefix KV reuse: a radix index over committed tokens "
+             "lets admissions adopt resident prefixes through refcounted "
+             "copy-on-write paged blocks, charging only the uncached suffix",
+    )
+    p_serve.add_argument(
+        "--traffic", choices=["conversations", "shared-prefix"],
+        default="conversations",
+        help="workload shape: independent multi-turn conversations "
+             "(default), or templated shared-prefix traffic (N system "
+             "prompts x M few-shot variants) that exercises the prefix cache",
+    )
+    p_serve.add_argument(
+        "--policy", choices=["fifo", "srpf"], default="fifo",
+        help="chunked-prefill packing order: arrival order (fifo, default) "
+             "or shortest-remaining-prefill-first (srpf)",
     )
     p_serve.add_argument("--chunk", type=int, default=16, help="prefill chunk tokens")
     p_serve.add_argument("--round-budget", type=int, default=32,

@@ -36,6 +36,7 @@ from repro.distributed.process_group import SimProcessGroup
 from repro.distributed.topology import ClusterTopology
 from repro.distributed.tracer import CommTracer
 from repro.kvcache.cache import CacheCapacityError, RankKVCache
+from repro.kvcache.prefix_index import PrefixIndex
 from repro.model.llama import LlamaModel
 
 
@@ -157,6 +158,15 @@ class ContextParallelEngine:
         ]
         self.seq_lengths: dict[int, int] = {}
         self.decode_steps = 0
+        # shared-prefix KV reuse (opt-in): radix index over committed
+        # token ids plus the per-sequence histories backing it. Tree
+        # insertion is deferred out of the commit hot loop: histories
+        # marked dirty here are (re)anchored lazily at the next lookup,
+        # so a decode step costs O(1) bookkeeping instead of a full
+        # root-to-leaf walk per token.
+        self.prefix_index: PrefixIndex | None = None
+        self._committed: dict[int, list[int]] = {}
+        self._index_dirty: set[int] = set()
 
     # ------------------------------------------------------------------ #
     # prefill (full and partial)
@@ -247,6 +257,7 @@ class ContextParallelEngine:
                 rows[positions[idx] - spec.cached_tokens] = rank_logits
             logits[spec.seq_id] = rows
             self.seq_lengths[spec.seq_id] = spec.cached_tokens + spec.new_tokens
+            self._track_commit(spec.seq_id, spec.cached_tokens, new_ids[spec.seq_id])
         return PrefillOutput(logits=logits, plan=plan)
 
     def prefill_chunked(
@@ -355,7 +366,8 @@ class ContextParallelEngine:
             rank_logits = self.model.unembed(xs[rank])
             for i, slot in enumerate(slots):
                 logits[int(seq_arr[slot])] = rank_logits[i]
-        for sid in sids:
+        for i, sid in enumerate(sids):
+            self._track_commit(sid, int(positions[i]), [tokens[sid]])
             self.seq_lengths[sid] += 1
         self.decode_steps += 1
         return DecodeOutput(
@@ -421,6 +433,119 @@ class ContextParallelEngine:
         return generated
 
     # ------------------------------------------------------------------ #
+    # shared-prefix KV reuse (radix prefix cache)
+    # ------------------------------------------------------------------ #
+
+    def enable_prefix_cache(self) -> PrefixIndex:
+        """Turn on shared-prefix KV reuse; returns the radix index.
+
+        From this call on, the engine tracks every sequence's committed
+        token ids (prefill chunks and decode tokens alike) and anchors
+        them in a :class:`repro.kvcache.prefix_index.PrefixIndex` kept in
+        lockstep with residency: :meth:`evict` removes the anchor,
+        :meth:`evict_tail` trims it, and :meth:`import_kv` — whose
+        payload carries no token identity — marks the sequence
+        non-donatable. Sequences resident *before* this call are not
+        retroactively indexed. Idempotent.
+        """
+        if self.prefix_index is None:
+            self.prefix_index = PrefixIndex()
+        return self.prefix_index
+
+    def match_prefix(self, tokens) -> tuple[int, int | None]:
+        """Longest resident committed prefix of ``tokens``: ``(len, donor)``.
+
+        ``(0, None)`` when the prefix cache is disabled or nothing
+        matches. The donor's first ``len`` committed tokens equal
+        ``tokens[:len]`` and are resident on every rank, so
+        :meth:`adopt_prefix` can share them.
+        """
+        if self.prefix_index is None:
+            return 0, None
+        self._flush_index()
+        return self.prefix_index.match(np.asarray(tokens, dtype=np.int64))
+
+    def adopt_prefix(self, seq_id: int, donor_seq: int, length: int) -> int:
+        """Start ``seq_id`` from ``donor_seq``'s first ``length`` tokens.
+
+        Every rank's cache references the donor's KV below position
+        ``length`` (chunk arrays aliased, paged blocks refcount-shared —
+        capacity is charged once), and the engine treats the new
+        sequence as having ``length`` cached tokens: the next
+        :meth:`prefill` of the remaining suffix is an ordinary partial
+        prefill, exact for any world size. The adopted tokens anchor
+        ``seq_id`` in the index too, so it immediately becomes a donor.
+
+        Returns:
+            ``length`` (the adopted token count).
+
+        Raises:
+            RuntimeError: prefix cache disabled.
+            ValueError: ``seq_id`` already resident, or ``length``
+                outside the donor's tracked committed history.
+        """
+        if self.prefix_index is None:
+            raise RuntimeError("prefix cache not enabled on this engine")
+        if seq_id in self.seq_lengths:
+            raise ValueError(f"sequence {seq_id} already has resident KV")
+        donor_hist = self._committed.get(donor_seq)
+        donor_len = self.seq_lengths.get(donor_seq, 0)
+        if donor_hist is None or not 1 <= length <= min(len(donor_hist), donor_len):
+            raise ValueError(
+                f"cannot adopt {length} tokens from donor {donor_seq} "
+                f"(resident {donor_len}, tracked {0 if donor_hist is None else len(donor_hist)})"
+            )
+        shared = sum(
+            cache.share_prefix(donor_seq, seq_id, length) for cache in self.caches
+        )
+        assert shared == length, (
+            f"donor {donor_seq} prefix [0, {length}) shards to {shared} tokens"
+        )
+        self.seq_lengths[seq_id] = length
+        self._committed[seq_id] = list(donor_hist[:length])
+        self.prefix_index.insert(
+            seq_id, np.asarray(self._committed[seq_id], dtype=np.int64)
+        )
+        self.prefix_index.touch(donor_seq)
+        self.prefix_index.touch(seq_id)
+        return length
+
+    def _track_commit(self, seq_id: int, cached_before: int, ids) -> None:
+        """Keep the committed-token history and radix anchor in lockstep
+        with a KV commit of ``ids`` at positions ``cached_before...``.
+
+        The history list is extended here; the tree insertion itself is
+        deferred to :meth:`_flush_index` (run before any lookup) so the
+        per-token decode hot loop never pays a tree walk.
+        """
+        if self.prefix_index is None:
+            return
+        hist = self._committed.get(seq_id)
+        if cached_before == 0:
+            hist = [int(t) for t in ids]
+            self._committed[seq_id] = hist
+        elif hist is not None and len(hist) == cached_before:
+            hist.extend(int(t) for t in ids)
+        else:
+            # resident KV with unknown token identity (an imported swap /
+            # transfer payload): not donatable
+            self._committed.pop(seq_id, None)
+            self._index_dirty.discard(seq_id)
+            self.prefix_index.remove(seq_id)
+            return
+        self._index_dirty.add(seq_id)
+
+    def _flush_index(self) -> None:
+        """Anchor every dirty committed history in the radix tree."""
+        if not self._index_dirty:
+            return
+        for sid in self._index_dirty:
+            hist = self._committed.get(sid)
+            if hist:
+                self.prefix_index.insert(sid, np.asarray(hist, dtype=np.int64))
+        self._index_dirty.clear()
+
+    # ------------------------------------------------------------------ #
     # bookkeeping
     # ------------------------------------------------------------------ #
 
@@ -439,6 +564,10 @@ class ContextParallelEngine:
         """
         freed = sum(cache.drop(seq_id) for cache in self.caches)
         self.seq_lengths.pop(seq_id, None)
+        if self.prefix_index is not None:
+            self._committed.pop(seq_id, None)
+            self._index_dirty.discard(seq_id)
+            self.prefix_index.remove(seq_id)
         return freed
 
     def evict_tail(self, seq_id: int, keep_tokens: int) -> int:
@@ -467,6 +596,11 @@ class ContextParallelEngine:
             return self.evict(seq_id)
         freed = sum(cache.drop_tail(seq_id, keep_tokens) for cache in self.caches)
         self.seq_lengths[seq_id] = keep_tokens
+        if self.prefix_index is not None:
+            hist = self._committed.get(seq_id)
+            if hist is not None and len(hist) > keep_tokens:
+                del hist[keep_tokens:]
+            self.prefix_index.trim(seq_id, keep_tokens)
         return freed
 
     # ------------------------------------------------------------------ #
@@ -576,6 +710,13 @@ class ContextParallelEngine:
                 k, v = export.layers[layer]
                 self.caches[rank].append(layer, sid, k[rows], v[rows], positions)
         self.seq_lengths[sid] = export.end_pos
+        if self.prefix_index is not None:
+            # the payload carries KV but no token identity: the sequence
+            # is resident yet not donatable, and any stale anchor would
+            # misdescribe it
+            self._committed.pop(sid, None)
+            self._index_dirty.discard(sid)
+            self.prefix_index.remove(sid)
 
     def import_token_demand(self, seq_id: int, tokens: int) -> list[dict[int, int]]:
         """Per-rank KV demand an :meth:`import_kv` of ``tokens`` would add."""

@@ -23,6 +23,10 @@ Index (paper -> module):
 - §4.3 disaggregation (analytic) -> :mod:`repro.experiments.disaggregation`
 - §4.3 disaggregation (measured runtime vs simulator prediction) ->
   :mod:`repro.experiments.disagg_runtime`
+- preemption remedies under KV pressure ->
+  :mod:`repro.experiments.preemption_modes`
+- shared-prefix KV reuse (radix prefix cache, warm-vs-cold TTFT) ->
+  :mod:`repro.experiments.prefix_reuse`
 """
 
 from repro.experiments.base import ExperimentResult

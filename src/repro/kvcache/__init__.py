@@ -12,9 +12,16 @@ decode:
 - :mod:`repro.kvcache.cache` — :class:`RankKVCache`, a per-rank, per-layer,
   per-sequence KV store with position/seq-id bookkeeping and capacity (OOM)
   accounting, backed by the paged allocator.
+- :mod:`repro.kvcache.prefix_index` — :class:`PrefixIndex`, a radix tree
+  over committed token ids that lets requests *share* resident KV
+  (SGLang-RadixAttention / Mooncake style): the allocator refcounts shared
+  blocks, appends copy-on-write split them, and the serving runtime
+  adopts matched prefixes so templated traffic prefills only its
+  uncached suffix.
 """
 
 from repro.kvcache.cache import CacheCapacityError, RankKVCache
 from repro.kvcache.paged import PagedAllocator
+from repro.kvcache.prefix_index import PrefixIndex
 
-__all__ = ["CacheCapacityError", "PagedAllocator", "RankKVCache"]
+__all__ = ["CacheCapacityError", "PagedAllocator", "PrefixIndex", "RankKVCache"]

@@ -45,6 +45,26 @@ class _Stream:
         return sum(c.shape[0] for c in self.pos_chunks)
 
 
+def _mask_chunk(k, v, keep: np.ndarray, *, quantized: bool):
+    """Select ``keep`` rows of one KV chunk, dense or quantized.
+
+    Always materialises fresh arrays (never a view), so the source chunk
+    — possibly referenced by another stream via prefix sharing — is left
+    untouched: chunk-level copy-on-write.
+    """
+    if quantized:
+        from repro.kvcache.quantized import QuantizedKV
+
+        sliced = QuantizedKV(
+            k_codes=k.k_codes[keep],
+            v_codes=k.v_codes[keep],
+            k_scales=k.k_scales[keep],
+            v_scales=k.v_scales[keep],
+        )
+        return sliced, sliced
+    return k[keep], v[keep]
+
+
 class RankKVCache:
     """One CP rank's KV cache across layers and sequences.
 
@@ -218,6 +238,66 @@ class RankKVCache:
             return True
         return self._allocator.fits({(sid,): n for sid, n in demands.items()})
 
+    def share_prefix(self, src_seq: int, dst_seq: int, upto_pos: int) -> int:
+        """Reference ``src_seq``'s cached KV below ``upto_pos`` as ``dst_seq``.
+
+        Prefix sharing: the destination stream is built from the *same*
+        chunk arrays the source stream holds (full chunks by reference —
+        chunks are append-only, so aliasing is safe; a chunk straddling
+        ``upto_pos`` is sliced into a fresh array), and the paged
+        allocator accounts the shared span once via block refcounts
+        (:meth:`repro.kvcache.paged.PagedAllocator.share`). Appends to
+        either stream never mutate shared state: new chunks extend only
+        the appending stream, and the allocator copy-on-write splits a
+        shared last block.
+
+        Args:
+            src_seq: resident donor sequence.
+            dst_seq: new sequence; must not be cached on this rank.
+            upto_pos: share every token at absolute position ``< upto_pos``.
+
+        Returns:
+            Tokens shared on this rank at layer 0 (every layer stores the
+            same token set); 0 when the donor holds nothing below
+            ``upto_pos`` here (the destination then simply starts empty).
+        """
+        if upto_pos < 1:
+            raise ValueError(f"upto_pos must be >= 1, got {upto_pos}")
+        if src_seq == dst_seq:
+            raise ValueError(f"cannot share sequence {src_seq} with itself")
+        if any(sid == dst_seq for (_lyr, sid) in self._streams):
+            raise ValueError(f"sequence {dst_seq} already cached on this rank")
+        shared = 0
+        for layer in range(self.n_layers):
+            stream = self._streams.get((layer, src_seq))
+            if stream is None:
+                continue
+            k_chunks, v_chunks, pos_chunks = [], [], []
+            n = 0
+            for k, v, pos in zip(stream.k_chunks, stream.v_chunks, stream.pos_chunks):
+                keep = pos < upto_pos
+                n_keep = int(keep.sum())
+                if n_keep == 0:
+                    continue
+                if n_keep == pos.size:
+                    k_chunks.append(k)
+                    v_chunks.append(v)
+                    pos_chunks.append(pos)
+                else:
+                    ks, vs = _mask_chunk(k, v, keep, quantized=self.quantized)
+                    k_chunks.append(ks)
+                    v_chunks.append(vs)
+                    pos_chunks.append(pos[keep])
+                n += n_keep
+            if n == 0:
+                continue
+            self._streams[(layer, dst_seq)] = _Stream(k_chunks, v_chunks, pos_chunks)
+            if layer == 0:
+                shared = n
+        if shared and self._allocator is not None:
+            self._allocator.share((src_seq,), (dst_seq,), shared)
+        return shared
+
     def drop_tail(self, seq_id: int, from_pos: int) -> int:
         """Evict every cached token of ``seq_id`` at position ``>= from_pos``.
 
@@ -250,20 +330,9 @@ class RankKVCache:
                     v_chunks.append(v)
                     pos_chunks.append(pos)
                 elif n_keep > 0:
-                    if self.quantized:
-                        from repro.kvcache.quantized import QuantizedKV
-
-                        sliced = QuantizedKV(
-                            k_codes=k.k_codes[keep],
-                            v_codes=k.v_codes[keep],
-                            k_scales=k.k_scales[keep],
-                            v_scales=k.v_scales[keep],
-                        )
-                        k_chunks.append(sliced)
-                        v_chunks.append(sliced)
-                    else:
-                        k_chunks.append(k[keep])
-                        v_chunks.append(v[keep])
+                    ks, vs = _mask_chunk(k, v, keep, quantized=self.quantized)
+                    k_chunks.append(ks)
+                    v_chunks.append(vs)
                     pos_chunks.append(pos[keep])
             if dropped == 0:
                 continue

@@ -1,4 +1,4 @@
-"""Paged block allocator (PagedAttention-style).
+"""Paged block allocator (PagedAttention-style) with prefix sharing.
 
 Long-context serving cannot reserve max-context-length contiguous buffers
 per sequence; the standard fix (Kwon et al. 2023, cited in §2.2) is to
@@ -8,6 +8,16 @@ authority behind :class:`repro.kvcache.cache.RankKVCache`: when the free
 list empties, the cache raises the OOM the paper's load-balancing work is
 designed to postpone (§3.6: without round-robin decode sharding, one rank
 OOMs before aggregate capacity is reached).
+
+Blocks are *refcounted* so streams can share a committed prefix
+(SGLang-RadixAttention / vLLM-prefix-caching style): :meth:`share` makes a
+new stream reference the first blocks of an existing one, charging the
+pool nothing — a shared prefix occupies capacity exactly once. Sharing is
+copy-on-write: a stream appending into the slack of a block another
+stream also references first claims a fresh block for its own tail (the
+shared block is never mutated), and :meth:`fits` prices that extra block
+so admission control stays exact. Releasing (whole-stream or tail) only
+returns a block to the free list when its last reference drops.
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ class PagedAllocator:
     _free: list[int] = field(default_factory=list, repr=False)
     _owners: dict[tuple, list[int]] = field(default_factory=dict, repr=False)
     _fill: dict[tuple, int] = field(default_factory=dict, repr=False)
+    _ref: dict[int, int] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.num_blocks < 0:
@@ -47,6 +58,8 @@ class PagedAllocator:
 
     @property
     def used_blocks(self) -> int:
+        """Distinct blocks claimed by at least one stream (shared blocks
+        count once — this is what prefix sharing saves)."""
         return self.num_blocks - len(self._free)
 
     @property
@@ -57,11 +70,14 @@ class PagedAllocator:
         """Tokens that can still be appended across all streams.
 
         Counts whole free blocks plus the slack in each stream's last
-        partially-filled block.
+        partially-filled block — except when that last block is shared
+        with another stream, whose slack is unusable without a
+        copy-on-write split (appending there claims a whole new block).
         """
         slack = sum(
             (len(blocks) * self.block_size) - self._fill[key]
             for key, blocks in self._owners.items()
+            if blocks and self._ref[blocks[-1]] == 1
         )
         return len(self._free) * self.block_size + slack
 
@@ -69,25 +85,48 @@ class PagedAllocator:
         """Tokens currently stored under ``key``."""
         return self._fill.get(key, 0)
 
+    def stream_blocks(self, key: tuple) -> tuple[int, ...]:
+        """Block ids owned (possibly shared) by ``key``, oldest first."""
+        return tuple(self._owners.get(key, ()))
+
+    def block_refcount(self, block: int) -> int:
+        """How many streams reference ``block`` (0 = free/unknown)."""
+        return self._ref.get(block, 0)
+
     def utilization(self) -> float:
         """Fraction of the pool's token capacity in use (block-granular).
 
         Counts whole claimed blocks, not just their filled tokens, so this
         reflects allocatable pressure — the quantity the serving runtime's
-        peak-KV-occupancy metric samples after every round.
+        peak-KV-occupancy metric samples after every round. Shared blocks
+        count once, which is exactly the capacity prefix reuse reclaims.
         """
         if self.num_blocks == 0:
             return 0.0
         return self.used_blocks / self.num_blocks
 
+    def _needs_cow(self, key: tuple) -> bool:
+        """Whether appending to ``key`` must copy-on-write its last block
+        (the block is shared and has slack this stream would write into)."""
+        blocks = self._owners.get(key)
+        if not blocks:
+            return False
+        fill_in_last = self._fill[key] - (len(blocks) - 1) * self.block_size
+        return fill_in_last < self.block_size and self._ref[blocks[-1]] > 1
+
     def append(self, key: tuple, n_tokens: int) -> None:
         """Account for appending ``n_tokens`` to stream ``key``.
 
-        Allocates new blocks as needed.
+        Allocates new blocks as needed. When the stream's last block is
+        shared with another stream and still has slack, the append first
+        performs a copy-on-write split: the stream swaps the shared block
+        for a fresh one it owns exclusively (the shared block keeps its
+        other references untouched), then fills from there.
 
         Raises:
             OutOfBlocksError: if the pool cannot hold the new tokens; the
-                allocation is rolled back so the pool state is unchanged.
+                allocation (including any copy-on-write split) is rolled
+                back so the pool state is unchanged.
         """
         if n_tokens < 0:
             raise ValueError(f"n_tokens must be >= 0, got {n_tokens}")
@@ -97,15 +136,34 @@ class PagedAllocator:
             return
         blocks = self._owners.setdefault(key, [])
         fill = self._fill.setdefault(key, 0)
+        cow_old: int | None = None
+        if n_tokens > 0 and self._needs_cow(key):
+            if not self._free:
+                raise OutOfBlocksError(
+                    f"stream {key}: copy-on-write split needs a free block "
+                    f"but the pool is exhausted "
+                    f"({self.used_blocks}/{self.num_blocks} blocks used)"
+                )
+            b = self._free.pop()
+            self._ref[b] = 1
+            cow_old = blocks[-1]
+            self._ref[cow_old] -= 1
+            blocks[-1] = b
         capacity = len(blocks) * self.block_size
         need = fill + n_tokens - capacity
         newly: list[int] = []
         while need > 0:
             if not self._free:
-                # roll back
+                # roll back (newly claimed blocks, then the COW split)
                 for b in newly:
+                    del self._ref[b]
                     self._free.append(b)
                     blocks.pop()
+                if cow_old is not None:
+                    del self._ref[blocks[-1]]
+                    self._free.append(blocks[-1])
+                    self._ref[cow_old] += 1
+                    blocks[-1] = cow_old
                 if not blocks:
                     del self._owners[key]
                     del self._fill[key]
@@ -114,17 +172,54 @@ class PagedAllocator:
                     f"({self.used_blocks}/{self.num_blocks} blocks used)"
                 )
             b = self._free.pop()
+            self._ref[b] = 1
             blocks.append(b)
             newly.append(b)
             need -= self.block_size
         self._fill[key] = fill + n_tokens
 
+    def share(self, src_key: tuple, dst_key: tuple, n_tokens: int) -> int:
+        """Make ``dst_key`` reference the first ``n_tokens`` of ``src_key``.
+
+        The shared prefix occupies pool capacity once: ``dst_key``'s block
+        list becomes the first ``ceil(n_tokens / block_size)`` blocks of
+        ``src_key``'s, each with its refcount bumped, and *zero* free
+        blocks are claimed. Later appends by either stream into the last
+        shared block copy-on-write split it first (see :meth:`append`).
+
+        Returns:
+            The number of blocks now shared.
+
+        Raises:
+            ValueError: unknown source, existing destination, or
+                ``n_tokens`` outside ``[1, stream_tokens(src_key)]``.
+        """
+        if src_key not in self._owners:
+            raise ValueError(f"cannot share from unknown stream {src_key}")
+        if dst_key in self._owners:
+            raise ValueError(f"cannot share into existing stream {dst_key}")
+        if src_key == dst_key:
+            raise ValueError(f"cannot share stream {src_key} with itself")
+        if not 1 <= n_tokens <= self._fill[src_key]:
+            raise ValueError(
+                f"share of {n_tokens} tokens outside [1, {self._fill[src_key]}] "
+                f"stored by {src_key}"
+            )
+        shared = self._owners[src_key][: -(-n_tokens // self.block_size)]
+        self._owners[dst_key] = list(shared)
+        self._fill[dst_key] = n_tokens
+        for b in shared:
+            self._ref[b] += 1
+        return len(shared)
+
     def fits(self, demands: dict[tuple, int]) -> bool:
         """Dry-run an :meth:`append` of ``demands[key]`` tokens per stream.
 
         Computes how many *new* blocks the batch of appends would claim —
-        each stream first consumes the slack of its own last block — and
-        checks it against the free list, without mutating any state.
+        each stream first consumes the slack of its own last block, unless
+        that block is shared, in which case the copy-on-write split costs
+        one extra block and the shared slack is unusable — and checks it
+        against the free list, without mutating any state.
         """
         need = 0
         for key, n_tokens in demands.items():
@@ -132,26 +227,36 @@ class PagedAllocator:
                 raise ValueError(f"stream {key}: n_tokens must be >= 0, got {n_tokens}")
             fill = self._fill.get(key, 0)
             held = len(self._owners.get(key, ()))
-            need += max(0, -(-(fill + n_tokens) // self.block_size) - held)
+            stream_need = -(-(fill + n_tokens) // self.block_size) - held
+            if n_tokens > 0 and self._needs_cow(key):
+                stream_need += 1
+            need += max(0, stream_need)
         return need <= len(self._free)
 
     def release(self, key: tuple) -> int:
-        """Free all blocks of stream ``key``; returns the block count freed.
+        """Drop all of ``key``'s block references; returns blocks *freed*.
 
-        Releasing an unknown (or already-released) key is a clean no-op
-        returning 0 — callers evicting speculatively need not pre-check.
+        A block returns to the free list only when its last reference
+        drops — blocks shared with other streams stay claimed, so the
+        return value under sharing can be less than the stream's block
+        count. Releasing an unknown (or already-released) key is a clean
+        no-op returning 0 — callers evicting speculatively need not
+        pre-check.
         """
         blocks = self._owners.pop(key, [])
         self._fill.pop(key, None)
-        self._free.extend(blocks)
-        return len(blocks)
+        return self._unref(blocks)
 
     def release_tail(self, key: tuple, n_tokens: int) -> int:
         """Drop the *newest* ``n_tokens`` of stream ``key``; returns blocks freed.
 
-        Only whole blocks that become empty are returned to the pool (the
-        stream's new last block may stay partially filled — that slack is
-        reusable by the stream itself, as :meth:`free_tokens` counts).
+        Only whole blocks that become empty (and are not referenced by any
+        other stream) are returned to the pool; the stream's new last
+        block may stay partially filled — that slack is reusable by the
+        stream itself when exclusively owned, as :meth:`free_tokens`
+        counts. Shared blocks are never mutated: dropping this stream's
+        reference leaves other holders' contents untouched, and a later
+        append into a still-shared last block copy-on-write splits it.
         Dropping every token degenerates to :meth:`release`, so the key is
         deregistered and never lingers as a zero-block stream.
 
@@ -173,11 +278,21 @@ class PagedAllocator:
             return self.release(key)
         blocks = self._owners[key]
         keep_blocks = -(-new_fill // self.block_size)
-        freed = blocks[keep_blocks:]
+        dropped = blocks[keep_blocks:]
         del blocks[keep_blocks:]
-        self._free.extend(freed)
         self._fill[key] = new_fill
-        return len(freed)
+        return self._unref(dropped)
+
+    def _unref(self, blocks: list[int]) -> int:
+        """Drop one reference per block; free and count those reaching 0."""
+        freed = 0
+        for b in blocks:
+            self._ref[b] -= 1
+            if self._ref[b] == 0:
+                del self._ref[b]
+                self._free.append(b)
+                freed += 1
+        return freed
 
     def streams(self) -> list[tuple]:
         return list(self._owners)

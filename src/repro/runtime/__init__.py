@@ -9,7 +9,9 @@ This package turns the reproduction's layers into one live system
 batched decode interleaving, admission control and capacity-pressure
 preemption against the paged KV allocator, with three priced eviction
 remedies (full evict + exact re-prefill, tail-trim + suffix re-prefill,
-or CPU-side KV swap over PCIe). One engine gives the colocated
+or CPU-side KV swap over PCIe), and optional shared-prefix KV reuse
+through the radix prefix cache (:mod:`repro.kvcache.prefix_index`) with
+refcounted copy-on-write paged blocks. One engine gives the colocated
 deployment; a second engine turns
 it into the disaggregated prefill/decode pools of §4.3, connected by a
 priced, serialized KV-transfer stream. Decoded tokens are identical to

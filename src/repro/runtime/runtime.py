@@ -80,6 +80,16 @@ Scheduling model (event-driven, deterministic):
   already trimmed to nothing, a payload larger than the empty pool).
   DistServe/Mooncake-class systems trade HBM this way; the discrete
   clocks price each remedy honestly, and none of them may change tokens.
+- **Shared-prefix reuse** (``prefix_cache=True``): admission matches
+  each fresh stream's input against a radix index of resident committed
+  prefixes and adopts the longest hit through refcounted copy-on-write
+  paged blocks — capacity and prefill compute are charged only for the
+  uncached suffix, matched donors are pinned for the borrower's
+  lifetime (tail-trim never cuts into an adopted span), and finished
+  conversations stay resident as LRU-evictable cached prefixes instead
+  of releasing. Disaggregated, the prefill pool retains its copy after
+  each transfer, so follow-up turns skip the history recompute and ship
+  only deltas (Mooncake's KVCache-centric architecture).
 
 Exactness contract: for greedy decoding, the per-request token streams are
 identical to replaying each conversation sequentially through
@@ -191,6 +201,16 @@ class ContinuousBatchingRuntime:
             for ``preemption="swap"`` (``None`` = unbounded host DRAM).
             A victim that does not fit the store falls back to full
             eviction.
+        prefix_cache: enable shared-prefix KV reuse (a radix index over
+            committed token ids on the prefill engine). Admission
+            matches each fresh stream's input against resident prefixes
+            and adopts the longest hit through refcounted paged blocks —
+            capacity and prefill compute are charged only for the
+            uncached suffix. Finished conversations stay resident as
+            LRU-evictable cached prefixes instead of releasing
+            (disaggregated: the prefill-pool copy; the decode pool never
+            donates), and matched donors are pinned for the borrowing
+            request's lifetime.
     """
 
     def __init__(
@@ -204,6 +224,7 @@ class ContinuousBatchingRuntime:
         max_prefill_rounds_per_decode: int = 1,
         preemption: str = "recompute",
         swap_capacity_tokens: int | None = None,
+        prefix_cache: bool = False,
     ):
         if max_prefill_rounds_per_decode < 1:
             raise ValueError(
@@ -242,6 +263,10 @@ class ContinuousBatchingRuntime:
         self.max_prefill_rounds_per_decode = max_prefill_rounds_per_decode
         self.preemption = preemption
         self.swap_capacity_tokens = swap_capacity_tokens
+        # radix prefix cache lives on the prefill engine: that is where
+        # fresh streams are admitted and where shared blocks save both
+        # capacity and prefill compute
+        self.prefix_index = self.engine.enable_prefix_cache() if prefix_cache else None
         # host-side KV store per pool (swap remedy): {seq_id: KVExport};
         # colocated runtimes canonicalize onto the prefill-pool slot
         self._swap_store: dict[str, dict[int, object]] = {
@@ -526,11 +551,21 @@ class ContinuousBatchingRuntime:
                 # recomputes the full committed history each turn and ships
                 # only the positions the decode pool lacks
                 rec.cached_at_start = self.decode_engine.context_length(seq_id)
-                if self._turn_history[seq_id]:
+                history = self._turn_history[seq_id]
+                if history:
                     rec.pending_input = np.asarray(
-                        self._turn_history[seq_id] + list(rec.request.prompt),
-                        dtype=np.int64,
+                        history + list(rec.request.prompt), dtype=np.int64
                     )
+                if self.prefix_index is not None:
+                    self._drop_stale_resident(rec)
+                    resident = self.engine.context_length(seq_id)
+                    if resident:
+                        # the prefill-pool copy retained after the last
+                        # transfer covers a prefix of this turn's input:
+                        # recompute starts where it ends instead of at 0
+                        rec.prefill_done = resident
+                    else:
+                        self._match_shared_prefix(rec)
             else:
                 store = self._swap_store[POOL_PREFILL]
                 history = self._turn_history[seq_id]
@@ -551,6 +586,8 @@ class ContinuousBatchingRuntime:
                         ((rec.request.arrival, rec.request_id), rec.request_id, POOL_PREFILL)
                     )
                     continue
+                if self.prefix_index is not None:
+                    self._drop_stale_resident(rec)
                 rec.cached_at_start = self.engine.context_length(seq_id)
                 if rec.cached_at_start < len(history):
                     # the idle conversation was evicted (or tail-trimmed)
@@ -560,6 +597,8 @@ class ContinuousBatchingRuntime:
                         history + list(rec.request.prompt), dtype=np.int64
                     )
                     rec.prefill_done = rec.cached_at_start
+                if self.prefix_index is not None and rec.cached_at_start == 0:
+                    self._match_shared_prefix(rec)
             self._enqueue_prefill(rec)
 
     def _enqueue_prefill(self, rec: RequestRecord) -> None:
@@ -585,6 +624,60 @@ class ContinuousBatchingRuntime:
         return min(times) if times else None
 
     # ------------------------------------------------------------------ #
+    # shared-prefix admission (radix prefix cache)
+    # ------------------------------------------------------------------ #
+
+    def _drop_stale_resident(self, rec: RequestRecord) -> None:
+        """Evict retained KV colliding with a *new* conversation's seq_id.
+
+        A finished conversation stays resident as a cached prefix under
+        its seq_id; if a fresh conversation reuses that id, the resident
+        tokens describe the old conversation, not this one — drop them
+        (the new conversation can still adopt through the index, under
+        its own identity). No-op for follow-up turns, whose residency is
+        their own.
+        """
+        seq_id = rec.seq_id
+        if self._turn_history[seq_id]:
+            return
+        tokens = self.engine.context_length(seq_id)
+        if tokens:
+            self.engine.evict(seq_id)
+            self._holders_prefill.discard(seq_id)
+            self.metrics.record_prefix_eviction(tokens)
+
+    def _match_shared_prefix(self, rec: RequestRecord) -> None:
+        """Adopt the longest indexed prefix of ``rec``'s pending input.
+
+        On a hit the matched tokens are shared block-for-block (capacity
+        counted once, nothing recomputed), ``prefill_done`` jumps past
+        them so admission charges only the uncached suffix, and the donor
+        is pinned in the index for this request's lifetime. At least one
+        token is always left to prefill — the finishing chunk must
+        produce next-token logits to sample from.
+        """
+        full = rec.pending_input
+        matched, donor = self.engine.match_prefix(full)
+        matched = min(matched, int(full.size) - 1)
+        if not self._turn_history[rec.seq_id]:
+            # only fresh conversations file warm/cold TTFT samples —
+            # follow-up turns are warm by construction
+            rec.prefix_eligible = True
+        if matched < 1 or donor is None:
+            self.metrics.record_prefix_miss()
+            return
+        self.engine.adopt_prefix(rec.seq_id, donor, matched)
+        self._holders_prefill.add(rec.seq_id)
+        rec.prefill_done = matched
+        rec.prefix_hit = True
+        rec.prefix_shared = matched
+        rec.prefix_donor = donor
+        self.prefix_index.pin(donor)
+        if not self.disaggregated:
+            rec.cached_at_start = matched
+        self.metrics.record_prefix_hit(matched)
+
+    # ------------------------------------------------------------------ #
     # prefill rounds
     # ------------------------------------------------------------------ #
 
@@ -603,6 +696,16 @@ class ContinuousBatchingRuntime:
             pending.append((rec.seq_id, rec.prefill_remaining))
         round_ = self.policy.build_round(pending)
         round_ = self._fit_prefill_round(round_, by_seq)
+        if not round_ and getattr(self.policy, "order", "fifo") != "fifo":
+            # liveness fallback for non-FIFO packing: the FIFO head is the
+            # oldest request, so it alone can evict every younger holder —
+            # a reordered round of young requests must not starve it
+            head = next((entry for entry in pending if entry[1] > 0), None)
+            if head is not None:
+                round_ = self._fit_prefill_round(
+                    [ChunkAssignment(seq_id=head[0], tokens=min(head[1], self.policy.chunk_tokens))],
+                    by_seq,
+                )
         if not round_:
             return False
 
@@ -638,10 +741,13 @@ class ContinuousBatchingRuntime:
         t = self._t_prefill
         if rec.request.max_new_tokens == 0:
             if self.disaggregated:
-                # no decode phase: drop the prefill pool's copy; the next
-                # turn recomputes the history and ships the delta
-                self.engine.release(rec.seq_id)
-                self._holders_prefill.discard(rec.seq_id)
+                if self.prefix_index is None:
+                    # no decode phase: drop the prefill pool's copy; the
+                    # next turn recomputes the history and ships the delta
+                    self.engine.release(rec.seq_id)
+                    self._holders_prefill.discard(rec.seq_id)
+                else:
+                    self.prefix_index.touch(rec.seq_id)
             self._finish_turn(rec, at=t)
             return
         if rec.resample_on_prefill:
@@ -696,7 +802,18 @@ class ContinuousBatchingRuntime:
                 self._evict(victim, pool=POOL_PREFILL, at=self._t_prefill)
                 continue
             if len(round_) > 1:
-                round_.pop()
+                # drop the youngest member by FCFS key — under SRPF
+                # packing the positional tail is the *longest-remaining*
+                # request (often the oldest), which must not be the one
+                # squeezed out of its own round
+                youngest = max(
+                    range(len(round_)),
+                    key=lambda i: (
+                        by_seq[round_[i].seq_id].request.arrival,
+                        by_seq[round_[i].seq_id].request_id,
+                    ),
+                )
+                round_.pop(youngest)
                 continue
             head = round_[0]
             cached = self.engine.context_length(head.seq_id)
@@ -767,8 +884,16 @@ class ContinuousBatchingRuntime:
                 continue
             export = self.engine.export_kv(sid, start_pos=start_pos)
             self.decode_engine.import_kv(export)
-            self.engine.release(sid)
-            self._holders_prefill.discard(sid)
+            if self.prefix_index is None:
+                self.engine.release(sid)
+                self._holders_prefill.discard(sid)
+            else:
+                # KVCache-centric retention (Mooncake-style): the prefill
+                # pool keeps its copy as a donatable cached prefix, so
+                # follow-up turns skip the history recompute and future
+                # shared-prefix requests can adopt it; capacity pressure
+                # evicts it LRU like any cached resident
+                self.prefix_index.touch(sid)
             self._holders_decode.add(sid)
             self.transfer_stream.complete(transfer)
             self.metrics.record_transfer(tokens)
@@ -881,7 +1006,7 @@ class ContinuousBatchingRuntime:
                 # safely re-shippable
                 idle_pending.append((head.request.arrival, seq_id))
         if idle_free:
-            return min(idle_free)
+            return self._pick_idle_free(idle_free)
         if idle_pending:
             return max(idle_pending)[1]
 
@@ -903,10 +1028,45 @@ class ContinuousBatchingRuntime:
             return None
         return rec
 
+    def _pick_idle_free(self, idle_free: list[int]) -> int:
+        """Order the no-pending-turn eviction bucket.
+
+        Without a prefix cache this bucket only holds open sessions
+        (lowest seq id first, the historical order). With one it also
+        holds finished conversations retained as cached prefixes:
+        unpinned cached residents go first, least-recently-used first
+        (the index's LRU), then open sessions, and pinned residents —
+        donors of in-flight requests — only as a last resort.
+        """
+        if self.prefix_index is None:
+            return min(idle_free)
+        unpinned = [
+            s
+            for s in idle_free
+            if s not in self._chains and not self.prefix_index.pinned(s)
+        ]
+        if unpinned:
+            return min(unpinned, key=lambda s: (self.prefix_index.last_used(s), s))
+        sessions = [s for s in idle_free if s in self._chains]
+        if sessions:
+            return min(sessions)
+        return min(idle_free, key=lambda s: (self.prefix_index.last_used(s), s))
+
     def _evict(self, victim, *, pool: str, at: float) -> None:
         """Apply the configured remedy to an idle conversation (``int``
         seq id) or an active request. Trim and swap fall back to full
         eviction when they cannot apply."""
+        if not isinstance(victim, RequestRecord) and victim not in self._chains:
+            # a finished conversation's cached prefix resident: there is
+            # no request to remedy, so LRU-drop it whole — the allocator's
+            # refcounts keep any blocks still shared with live adopters
+            # claimed, and the index stops matching it
+            engine = self._pool_engine(pool)
+            tokens = engine.context_length(victim)
+            engine.evict(victim)
+            self._pool_holders(pool).discard(victim)
+            self.metrics.record_prefix_eviction(tokens)
+            return
         if self.preemption == "trim" and self._try_trim(victim, pool=pool, at=at):
             return
         if self.preemption == "swap" and self._try_swap_out(victim, pool=pool, at=at):
@@ -930,6 +1090,20 @@ class ContinuousBatchingRuntime:
                 self.metrics.record_transfer_cancel(refunded=cancelled.sunk_s <= 0.0)
         freed = self._pool_engine(pool).evict(rec.seq_id)
         self._pool_holders(pool).discard(rec.seq_id)
+        if not self.disaggregated or pool == POOL_PREFILL:
+            # the adopted shared span lives on the prefill engine; only
+            # an eviction there actually drops it (a disaggregated
+            # decode-pool eviction leaves the retained prefill copy —
+            # and the trim guard protecting it — intact)
+            rec.prefix_shared = 0
+            if rec.prefix_hit and rec.first_token_at is None:
+                # the adopted prefix is gone before it bought a first
+                # token: the eventual TTFT is a cold (recomputed)
+                # sample, and the turn record must not report the lost
+                # span as cached
+                rec.prefix_hit = False
+                if not self.disaggregated:
+                    rec.cached_at_start = 0
         self.metrics.record_preemption(freed)
         self._reschedule_preempted(rec, at=at)
 
@@ -990,6 +1164,17 @@ class ContinuousBatchingRuntime:
         step = max(1, engine.kv_block_tokens() * engine.world_size)
         keep = length - step
         if keep < 1:
+            return False
+        if (
+            rec is not None
+            and keep < rec.prefix_shared
+            and (not self.disaggregated or pool == POOL_PREFILL)
+        ):
+            # the adopted shared prefix is pinned for the request's
+            # lifetime: trimming into it would drop this request's
+            # references to blocks the donor still backs (freeing little
+            # to nothing) and force a recompute of reused tokens — let
+            # the remedy chain fall through instead
             return False
         freed = engine.evict_tail(seq_id, keep)
         self.metrics.record_trim(freed)
@@ -1168,6 +1353,9 @@ class ContinuousBatchingRuntime:
             nxt = self._records[chain[0]]
             nxt.ready_at = max(nxt.ready_at, at)
             self._waiting.add(seq_id)
+        if rec.prefix_donor is not None:
+            self.prefix_index.unpin(rec.prefix_donor)
+            rec.prefix_donor = None
         self.metrics.record_turn(
             TurnRecord(
                 seq_id=seq_id,
@@ -1179,16 +1367,29 @@ class ContinuousBatchingRuntime:
             ),
             ttft=rec.ttft if rec.first_token_at is not None else None,
         )
+        if rec.prefix_eligible and rec.first_token_at is not None:
+            self.metrics.record_ttft_split(rec.ttft, warm=rec.prefix_hit)
         for gap in rec.ttit_samples():
             self.metrics.record_ttit(gap)
         if rec.request.last_turn and not chain:
-            # conversation over: release KV and prune per-seq state (a
-            # later submit for the same seq_id starts a fresh conversation)
-            self.decode_engine.release(seq_id)
-            self._holders_decode.discard(seq_id)
-            if self.disaggregated:
-                self.engine.release(seq_id)
-                self._holders_prefill.discard(seq_id)
+            # conversation over: prune per-seq state (a later submit for
+            # the same seq_id starts a fresh conversation)
+            if self.prefix_index is None:
+                self.decode_engine.release(seq_id)
+                self._holders_decode.discard(seq_id)
+                if self.disaggregated:
+                    self.engine.release(seq_id)
+                    self._holders_prefill.discard(seq_id)
+            else:
+                # prefix cache on: the prefill-side copy stays resident
+                # as an LRU-evictable cached prefix (the engine keeps its
+                # committed tokens indexed); the decode pool never
+                # donates, so its copy is still released
+                if self.disaggregated:
+                    self.decode_engine.release(seq_id)
+                    self._holders_decode.discard(seq_id)
+                if self.engine.context_length(seq_id):
+                    self.prefix_index.touch(seq_id)
             del self._chains[seq_id]
             del self._turn_history[seq_id]
 

@@ -117,6 +117,16 @@ class RequestRecord:
         swapped_from: while ``state`` is SWAPPED, the state to resume
             into once the KV swaps back in (DECODE resumes decoding with
             the pending token; anything else rejoins the prefill FIFO).
+        prefix_eligible: this admission consulted the radix prefix cache
+            (a fresh stream on a prefix-cache-enabled runtime), so its
+            TTFT files into the warm or cold bucket.
+        prefix_hit: the admission adopted a cached shared prefix.
+        prefix_shared: tokens of the adopted shared prefix still counted
+            resident — the floor the tail-trim remedy must respect (a
+            pinned shared prefix is never trimmed; full eviction resets
+            this to 0 along with the residency it describes).
+        prefix_donor: the donor sequence pinned in the index for this
+            request's lifetime (unpinned at finish).
         preemptions: times this turn was evicted (any remedy: recompute,
             tail-trim, or swap).
         chunk_algos: planner decision per executed prefill chunk.
@@ -134,6 +144,10 @@ class RequestRecord:
     cached_at_start: int = 0
     ready_at: float = 0.0
     swapped_from: "RequestState | None" = None
+    prefix_eligible: bool = False
+    prefix_hit: bool = False
+    prefix_shared: int = 0
+    prefix_donor: int | None = None
     preemptions: int = 0
     chunk_algos: list[str] = field(default_factory=list)
     admitted_at: float | None = None

@@ -47,6 +47,13 @@ class ServingMetrics:
     transfers_cancelled: int = 0
     transfers_refunded: int = 0
     transfer_stall_s: float = 0.0
+    prefix_hits: int = 0
+    prefix_misses: int = 0
+    prefix_reused_tokens: int = 0
+    prefix_evictions: int = 0
+    prefix_evicted_tokens: int = 0
+    ttft_cold_samples: list[float] = field(default_factory=list)
+    ttft_warm_samples: list[float] = field(default_factory=list)
 
     def record_turn(self, turn: TurnRecord, *, ttft: float | None = None, ttit: float | None = None) -> None:
         self.turns.append(turn)
@@ -118,6 +125,30 @@ class ServingMetrics:
         if refunded:
             self.transfers_refunded += 1
 
+    def record_prefix_hit(self, reused_tokens: int) -> None:
+        """Count one prefix-cache lookup that adopted a cached prefix."""
+        if reused_tokens < 1:
+            raise ValueError(f"a prefix hit must reuse >= 1 token, got {reused_tokens}")
+        self.prefix_hits += 1
+        self.prefix_reused_tokens += int(reused_tokens)
+
+    def record_prefix_miss(self) -> None:
+        """Count one prefix-cache lookup that matched nothing."""
+        self.prefix_misses += 1
+
+    def record_prefix_eviction(self, tokens: int) -> None:
+        """Count one LRU eviction of a finished cached prefix resident."""
+        self.prefix_evictions += 1
+        self.prefix_evicted_tokens += int(tokens)
+
+    def record_ttft_split(self, ttft: float, *, warm: bool) -> None:
+        """File a TTFT sample under the warm (prefix hit) or cold bucket.
+
+        Split accounting only — callers still record the sample in the
+        overall TTFT population via :meth:`record_turn`.
+        """
+        (self.ttft_warm_samples if warm else self.ttft_cold_samples).append(float(ttft))
+
     def record_transfer_stall(self, seconds: float) -> None:
         """Account decode-pool idle time spent waiting on the KV stream.
 
@@ -166,6 +197,24 @@ class ServingMetrics:
             return float("nan")
         return float(np.percentile(self.ttit_samples, q))
 
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of prefix-cache lookups that reused cached KV.
+
+        Every admission-time index lookup counts — fresh conversations
+        and re-matches of evicted follow-up turns alike — so hits and
+        misses are recorded symmetrically.
+        """
+        total = self.prefix_hits + self.prefix_misses
+        return self.prefix_hits / total if total else 0.0
+
+    def percentile_ttft_split(self, q: float, *, warm: bool) -> float:
+        """Warm- or cold-bucket TTFT percentile; ``nan`` without samples."""
+        samples = self.ttft_warm_samples if warm else self.ttft_cold_samples
+        if not samples:
+            return float("nan")
+        return float(np.percentile(samples, q))
+
     def pool_utilization(self, pool: str, makespan: float) -> float:
         """Busy fraction of ``pool`` over ``makespan`` (nan when unknown)."""
         if makespan <= 0 or pool not in self.pool_busy_s:
@@ -193,6 +242,20 @@ class ServingMetrics:
                 f"{self.percentile_ttit(50) * 1e3:.2f}/{self.percentile_ttit(95) * 1e3:.2f}/"
                 f"{self.percentile_ttit(99) * 1e3:.2f}ms"
             )
+        if self.prefix_hits or self.prefix_misses:
+            line = (
+                f"prefix cache: {self.prefix_hits}/{self.prefix_hits + self.prefix_misses} "
+                f"hits ({self.prefix_hit_rate:.1%}), "
+                f"{self.prefix_reused_tokens} tokens reused, "
+                f"{self.prefix_evictions} cached prefixes evicted"
+            )
+            if self.ttft_warm_samples and self.ttft_cold_samples:
+                line += (
+                    f"; TTFT p50 warm/cold: "
+                    f"{self.percentile_ttft_split(50, warm=True):.3f}/"
+                    f"{self.percentile_ttft_split(50, warm=False):.3f}s"
+                )
+            lines.append(line)
         if self.trims:
             lines.append(
                 f"tail trims: {self.trims} ({self.trimmed_kv_tokens} KV tokens dropped)"

@@ -96,3 +96,70 @@ class WorkloadGenerator:
     def decode_batch_sizes(self, n: int, *, low: int = 1, high: int = 8) -> list[int]:
         """Batch-size samples for decode sweeps."""
         return [int(b) for b in self.rng.integers(low, high + 1, size=n)]
+
+    def shared_prefix_traffic(
+        self,
+        *,
+        n_system_prompts: int,
+        n_fewshot_variants: int,
+        conversations: int,
+        system_tokens: int = 48,
+        fewshot_tokens: int = 16,
+        unique_range: tuple[int, int] = (8, 24),
+        turns: int = 1,
+        followup_range: tuple[int, int] = (6, 12),
+        response_range: tuple[int, int] = (4, 8),
+        first_seq_id: int = 0,
+    ) -> list[ConversationScript]:
+        """Templated shared-prefix traffic: N system prompts x M few-shot
+        variants x live arrivals.
+
+        The prefix-cache workload (SGLang/Mooncake-style): every
+        conversation's first prompt is ``system ++ fewshot ++ unique``
+        where the system prompt is drawn from ``n_system_prompts``
+        templates and the few-shot block from ``n_fewshot_variants``
+        variants of that template. Templates are assigned round-robin
+        (conversation ``i`` gets system ``i % N`` and few-shot
+        ``(i // N) % M``), so the cold/warm split is deterministic: the
+        first occurrence of each system prompt is cold, every later one
+        shares at least ``system_tokens`` with a resident donor — an
+        expected index hit rate of ``1 - N / conversations``. Follow-up
+        turns (when ``turns > 1``) behave like :meth:`conversation`'s.
+
+        Returns:
+            ``conversations`` scripts with sequential seq ids from
+            ``first_seq_id``.
+        """
+        if n_system_prompts < 1 or n_fewshot_variants < 1:
+            raise ValueError("template counts must be >= 1")
+        if conversations < 1:
+            raise ValueError(f"conversations must be >= 1, got {conversations}")
+        if system_tokens < 1 or fewshot_tokens < 1:
+            raise ValueError("template token counts must be >= 1")
+        if turns < 1:
+            raise ValueError(f"turns must be >= 1, got {turns}")
+        lo_u, hi_u = unique_range
+        lo_f, hi_f = followup_range
+        lo_r, hi_r = response_range
+        if not (1 <= lo_u <= hi_u and 1 <= lo_f <= hi_f and 0 <= lo_r <= hi_r):
+            raise ValueError("invalid unique/follow-up/response ranges")
+        systems = [self.prompt(system_tokens) for _ in range(n_system_prompts)]
+        fewshots = [
+            [self.prompt(fewshot_tokens) for _ in range(n_fewshot_variants)]
+            for _ in range(n_system_prompts)
+        ]
+        scripts = []
+        for i in range(conversations):
+            s = i % n_system_prompts
+            m = (i // n_system_prompts) % n_fewshot_variants
+            unique = self.prompt(int(self.rng.integers(lo_u, hi_u + 1)))
+            script = ConversationScript(seq_id=first_seq_id + i)
+            script.prompts.append(
+                np.concatenate([systems[s], fewshots[s][m], unique])
+            )
+            script.response_budgets.append(int(self.rng.integers(lo_r, hi_r + 1)))
+            for _ in range(turns - 1):
+                script.prompts.append(self.prompt(int(self.rng.integers(lo_f, hi_f + 1))))
+                script.response_budgets.append(int(self.rng.integers(lo_r, hi_r + 1)))
+            scripts.append(script)
+        return scripts

@@ -88,6 +88,25 @@ def submit_scripts_to_runtime(
     return rids
 
 
+def collect_generated(report, rids: dict[int, list[int]]) -> dict[int, list[list[int]]]:
+    """Per-conversation decoded tokens from a runtime report.
+
+    Shapes the output exactly like :func:`replay_scripts_sequential`'s
+    (``{seq_id: [generated token ids per turn]}``), so bit-equality
+    sweeps — cache on/off, packing orders, preemption remedies, runtime
+    vs sequential replay — are one dict comparison.
+
+    Args:
+        report: a :class:`repro.runtime.RuntimeReport`.
+        rids: ``{seq_id: [request_id per turn]}`` as returned by
+            :func:`submit_scripts_to_runtime`.
+    """
+    return {
+        seq_id: [list(report.generated(rid)) for rid in turn_rids]
+        for seq_id, turn_rids in rids.items()
+    }
+
+
 def replay_scripts_sequential(make_engine, scripts: list[ConversationScript]) -> dict[int, list[list[int]]]:
     """Ground-truth replay: each conversation alone on a fresh engine.
 

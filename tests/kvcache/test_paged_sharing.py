@@ -1,0 +1,159 @@
+"""Unit tests: paged-allocator block sharing and copy-on-write."""
+
+import pytest
+
+from repro.kvcache.paged import OutOfBlocksError, PagedAllocator
+
+
+class TestShare:
+    def test_share_charges_nothing(self):
+        a = PagedAllocator(num_blocks=8, block_size=4)
+        a.append(("src",), 10)  # 3 blocks
+        used = a.used_blocks
+        shared = a.share(("src",), ("dst",), 10)
+        assert shared == 3
+        assert a.used_blocks == used  # capacity counted once
+        assert a.stream_tokens(("dst",)) == 10
+        assert a.stream_blocks(("dst",)) == a.stream_blocks(("src",))
+        assert all(a.block_refcount(b) == 2 for b in a.stream_blocks(("dst",)))
+
+    def test_share_partial_prefix(self):
+        a = PagedAllocator(num_blocks=8, block_size=4)
+        a.append(("src",), 10)
+        a.share(("src",), ("dst",), 5)  # first 2 of src's 3 blocks
+        assert a.stream_blocks(("dst",)) == a.stream_blocks(("src",))[:2]
+        assert a.stream_tokens(("dst",)) == 5
+
+    def test_share_validation(self):
+        a = PagedAllocator(num_blocks=8, block_size=4)
+        a.append(("src",), 4)
+        with pytest.raises(ValueError):
+            a.share(("missing",), ("dst",), 1)
+        with pytest.raises(ValueError):
+            a.share(("src",), ("src",), 1)
+        with pytest.raises(ValueError):
+            a.share(("src",), ("dst",), 5)  # more than stored
+        with pytest.raises(ValueError):
+            a.share(("src",), ("dst",), 0)
+        a.share(("src",), ("dst",), 4)
+        with pytest.raises(ValueError):
+            a.share(("src",), ("dst",), 1)  # dst exists
+
+    def test_transitive_share_from_adopter(self):
+        a = PagedAllocator(num_blocks=8, block_size=4)
+        a.append(("a",), 8)
+        a.share(("a",), ("b",), 8)
+        a.share(("b",), ("c",), 4)
+        assert a.block_refcount(a.stream_blocks(("a",))[0]) == 3
+        assert a.used_blocks == 2
+
+
+class TestCopyOnWrite:
+    def test_append_into_shared_partial_block_cows(self):
+        a = PagedAllocator(num_blocks=8, block_size=4)
+        a.append(("src",), 6)  # 2 blocks, last half-full
+        a.share(("src",), ("dst",), 6)
+        shared_last = a.stream_blocks(("dst",))[-1]
+        a.append(("dst",), 1)
+        # dst swapped the shared last block for a fresh exclusive one
+        assert a.stream_blocks(("dst",))[-1] != shared_last
+        assert a.block_refcount(shared_last) == 1  # src's again
+        assert a.stream_blocks(("src",))[-1] == shared_last
+        assert a.stream_tokens(("dst",)) == 7
+        assert a.used_blocks == 3
+
+    def test_source_append_also_cows(self):
+        a = PagedAllocator(num_blocks=8, block_size=4)
+        a.append(("src",), 6)
+        a.share(("src",), ("dst",), 6)
+        shared_last = a.stream_blocks(("src",))[-1]
+        a.append(("src",), 1)
+        assert a.stream_blocks(("src",))[-1] != shared_last
+        assert a.stream_blocks(("dst",))[-1] == shared_last
+
+    def test_block_aligned_share_needs_no_cow(self):
+        a = PagedAllocator(num_blocks=8, block_size=4)
+        a.append(("src",), 8)  # exactly 2 full blocks
+        a.share(("src",), ("dst",), 8)
+        used = a.used_blocks
+        a.append(("dst",), 1)
+        # one new block claimed, nothing swapped
+        assert a.used_blocks == used + 1
+        assert a.stream_blocks(("dst",))[:2] == a.stream_blocks(("src",))
+
+    def test_fits_prices_the_cow_block(self):
+        a = PagedAllocator(num_blocks=3, block_size=4)
+        a.append(("src",), 6)  # 2 blocks used, 1 free
+        a.share(("src",), ("dst",), 6)
+        # dst appending 1 token needs the COW block: exactly the 1 free
+        assert a.fits({("dst",): 1})
+        # 5 tokens need COW + 1 more block: does not fit
+        assert not a.fits({("dst",): 5})
+        # an exclusive stream with the same fill would fit 5 in slack+1
+        b = PagedAllocator(num_blocks=3, block_size=4)
+        b.append(("x",), 6)
+        assert b.fits({("x",): 5})
+
+    def test_cow_oom_rolls_back(self):
+        a = PagedAllocator(num_blocks=2, block_size=4)
+        a.append(("src",), 6)
+        a.share(("src",), ("dst",), 6)
+        before = (a.stream_blocks(("dst",)), a.stream_tokens(("dst",)), a.free_blocks)
+        with pytest.raises(OutOfBlocksError):
+            a.append(("dst",), 1)
+        assert (a.stream_blocks(("dst",)), a.stream_tokens(("dst",)), a.free_blocks) == before
+        assert a.block_refcount(a.stream_blocks(("dst",))[-1]) == 2
+
+    def test_append_oom_after_cow_rolls_back_cow(self):
+        a = PagedAllocator(num_blocks=3, block_size=4)
+        a.append(("src",), 6)
+        a.share(("src",), ("dst",), 6)
+        before_blocks = a.stream_blocks(("dst",))
+        with pytest.raises(OutOfBlocksError):
+            a.append(("dst",), 7)  # COW succeeds, second new block does not
+        assert a.stream_blocks(("dst",)) == before_blocks
+        assert a.free_blocks == 1
+        assert a.block_refcount(before_blocks[-1]) == 2
+
+    def test_shared_slack_excluded_from_free_tokens(self):
+        a = PagedAllocator(num_blocks=4, block_size=4)
+        a.append(("src",), 6)
+        assert a.free_tokens() == 2 * 4 + 2  # 2 free blocks + slack
+        a.share(("src",), ("dst",), 6)
+        # both streams' last block is shared: no usable slack anywhere
+        assert a.free_tokens() == 2 * 4
+
+
+class TestReleaseUnderSharing:
+    def test_release_frees_only_last_reference(self):
+        a = PagedAllocator(num_blocks=8, block_size=4)
+        a.append(("src",), 10)
+        a.share(("src",), ("dst",), 10)
+        assert a.release(("src",)) == 0  # dst still references everything
+        assert a.used_blocks == 3
+        assert a.stream_tokens(("dst",)) == 10
+        assert a.release(("dst",)) == 3
+        assert a.free_blocks == 8
+
+    def test_release_tail_respects_shared_refs(self):
+        a = PagedAllocator(num_blocks=8, block_size=4)
+        a.append(("src",), 12)  # 3 blocks
+        a.share(("src",), ("dst",), 12)
+        a.append(("dst",), 4)  # exclusive 4th block
+        # dropping dst's tail of 8: frees its exclusive block, derefs one shared
+        freed = a.release_tail(("dst",), 8)
+        assert freed == 1
+        assert a.stream_tokens(("dst",)) == 8
+        assert a.stream_tokens(("src",)) == 12  # donor untouched
+        assert a.used_blocks == 3
+
+    def test_exclusive_after_donor_release(self):
+        a = PagedAllocator(num_blocks=8, block_size=4)
+        a.append(("src",), 6)
+        a.share(("src",), ("dst",), 6)
+        a.release(("src",))
+        # dst now owns the blocks exclusively: slack append, no COW
+        used = a.used_blocks
+        a.append(("dst",), 2)
+        assert a.used_blocks == used
+        assert a.stream_tokens(("dst",)) == 8

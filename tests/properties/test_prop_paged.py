@@ -1,4 +1,12 @@
-"""Property-based tests: paged allocator conservation invariants."""
+"""Property-based tests: paged allocator conservation invariants.
+
+Two stateful machines: the original append/release machine, and a
+sharing machine that throws admit / share (prefix adoption) / release /
+tail-trim / copy-on-write-append schedules at the refcounting allocator
+and checks block conservation — every block is free exactly-once or
+referenced with a refcount equal to its multiplicity across owner lists,
+``fits`` never lies, and a fully drained run leaks no refcounts.
+"""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -55,6 +63,103 @@ class AllocatorMachine(RuleBasedStateMachine):
 
 
 TestAllocatorMachine = AllocatorMachine.TestCase
+
+
+class SharingAllocatorMachine(RuleBasedStateMachine):
+    """Blocks are conserved and refcounts never leak under any
+    admit/share/release/trim/copy-on-write schedule."""
+
+    NUM_BLOCKS = 12
+    BLOCK = 4
+
+    def __init__(self):
+        super().__init__()
+        self.alloc = PagedAllocator(num_blocks=self.NUM_BLOCKS, block_size=self.BLOCK)
+        self.model_tokens: dict[tuple, int] = {}
+
+    @rule(stream=st.integers(0, 5), n=st.integers(1, 12))
+    def append(self, stream, n):
+        key = (stream,)
+        fits = self.alloc.fits({key: n})
+        try:
+            self.alloc.append(key, n)
+            self.model_tokens[key] = self.model_tokens.get(key, 0) + n
+            assert fits, "append succeeded after fits() said no"
+        except OutOfBlocksError:
+            assert not fits, "fits() approved an append that OOMed"
+
+    @rule(src=st.integers(0, 5), dst=st.integers(0, 5), frac=st.floats(0.1, 1.0))
+    def share(self, src, dst, frac):
+        """Adopt a prefix of src as a brand-new dst stream."""
+        src_key, dst_key = (src,), (dst,)
+        if src == dst or dst_key in self.model_tokens or src_key not in self.model_tokens:
+            return
+        n = max(1, int(self.model_tokens[src_key] * frac))
+        used_before = self.alloc.used_blocks
+        self.alloc.share(src_key, dst_key, n)
+        self.model_tokens[dst_key] = n
+        assert self.alloc.used_blocks == used_before, "sharing claimed blocks"
+
+    @rule(stream=st.integers(0, 5))
+    def release(self, stream):
+        key = (stream,)
+        self.alloc.release(key)
+        self.model_tokens.pop(key, None)
+
+    @rule(stream=st.integers(0, 5), n=st.integers(1, 8))
+    def release_tail(self, stream, n):
+        key = (stream,)
+        have = self.model_tokens.get(key, 0)
+        if have == 0:
+            return
+        n = min(n, have)
+        self.alloc.release_tail(key, n)
+        if n == have:
+            self.model_tokens.pop(key)
+        else:
+            self.model_tokens[key] = have - n
+
+    @invariant()
+    def tokens_match_model(self):
+        for key, tokens in self.model_tokens.items():
+            assert self.alloc.stream_tokens(key) == tokens
+            # block count is exactly ceil(tokens / block), shared or not
+            assert len(self.alloc.stream_blocks(key)) == -(-tokens // self.BLOCK)
+
+    @invariant()
+    def blocks_conserved_with_refcounts(self):
+        """free exactly-once + referenced-with-correct-multiplicity = pool."""
+        free = self.alloc._free
+        assert len(set(free)) == len(free), "block double-freed"
+        multiplicity: dict[int, int] = {}
+        for key in self.model_tokens:
+            for b in self.alloc.stream_blocks(key):
+                multiplicity[b] = multiplicity.get(b, 0) + 1
+        assert not (set(free) & set(multiplicity)), "block both free and owned"
+        for b, count in multiplicity.items():
+            assert self.alloc.block_refcount(b) == count, (
+                f"block {b}: refcount {self.alloc.block_refcount(b)} != "
+                f"{count} owner-list references"
+            )
+        assert len(free) + len(multiplicity) == self.NUM_BLOCKS
+
+    @invariant()
+    def drained_pool_leaks_nothing(self):
+        if not self.model_tokens:
+            assert self.alloc.free_blocks == self.NUM_BLOCKS
+            assert self.alloc._ref == {}
+            assert self.alloc.free_tokens() == self.NUM_BLOCKS * self.BLOCK
+
+    def teardown(self):
+        # drain everything: no refcount may survive
+        for key in list(self.model_tokens):
+            self.alloc.release(key)
+        assert self.alloc.free_blocks == self.NUM_BLOCKS
+        assert self.alloc._ref == {}
+        super().teardown()
+
+
+TestSharingAllocatorMachine = SharingAllocatorMachine.TestCase
 
 
 class TestAppendProperties:

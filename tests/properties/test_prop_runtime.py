@@ -20,6 +20,14 @@ tail-trim schedule (partial eviction, suffix-only re-prefill) and any
 CPU-swap schedule (host-store export/import, including host-store
 capacity fallbacks and swap-in evictions) must also leave every token
 identical — the remedies may change only what an eviction costs.
+
+The prefix-cache variants extend it over *sharing*: with the radix
+prefix cache enabled, any schedule of index hits and misses, adoptions
+through refcounted copy-on-write paged blocks, LRU evictions of cached
+residents, remedy applications against borrowers and donors, pool
+splits, and chunk-packing orders (FIFO or SRPF) must still decode every
+token identically to sequential replay — reuse changes what a prompt
+costs, never what it computes.
 """
 
 import numpy as np
@@ -69,6 +77,35 @@ def trace_case(draw):
         for sid in range(n_sessions)
     ]
     return scripts, world, chunk, capacity, think
+
+
+@st.composite
+def shared_trace_case(draw):
+    """Templated shared-prefix traffic: the prefix cache's home turf."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    world = draw(st.sampled_from([1, 2, 3]))
+    templates = draw(st.integers(1, 2))
+    conversations = draw(st.integers(2, 5))
+    turns = draw(st.integers(1, 2))
+    chunk = draw(st.sampled_from([5, 16, 64]))
+    # None = no pressure; small pools force LRU cache evictions and
+    # organic preemptions of borrowers and donors alike
+    capacity = draw(st.sampled_from([None, 96, 144]))
+    think = draw(st.sampled_from([0.0, 2.5]))
+    order = draw(st.sampled_from(["fifo", "srpf"]))
+    gen = WorkloadGenerator(VOCAB, seed=seed)
+    scripts = gen.shared_prefix_traffic(
+        n_system_prompts=templates,
+        n_fewshot_variants=2,
+        conversations=conversations,
+        system_tokens=int(gen.rng.integers(16, 40)),
+        fewshot_tokens=8,
+        unique_range=(4, 12),
+        turns=turns,
+        followup_range=(4, 12),
+        response_range=(2, 5),
+    )
+    return scripts, world, chunk, capacity, think, order
 
 
 class TestRuntimeExactness:
@@ -339,6 +376,113 @@ class TestRuntimeExactness:
                     forced += 1
         report = runtime.report()
         reference = replay_scripts_sequential(lambda: fresh_engine(world_d), scripts)
+        for script in scripts:
+            got = [report.generated(rid) for rid in rids[script.seq_id]]
+            assert got == reference[script.seq_id]
+
+    @given(shared_trace_case(), st.sampled_from(["recompute", "trim", "swap"]))
+    @settings(**SETTINGS)
+    def test_prefix_cache_identical_to_sequential_replay(self, case, mode):
+        """Shared-prefix traffic through the radix prefix cache — any
+        hit/miss/adoption/LRU-eviction schedule under any preemption
+        remedy and packing order — decodes bit-identical tokens."""
+        scripts, world, chunk, capacity, think, order = case
+        engine = ContextParallelEngine(MODEL, world_size=world, capacity_tokens=capacity)
+        runtime = ContinuousBatchingRuntime(
+            engine,
+            policy=ChunkedPrefillPolicy(
+                chunk_tokens=chunk, max_tokens_per_round=2 * chunk,
+                max_seqs_per_round=4, order=order,
+            ),
+            preemption=mode,
+            prefix_cache=True,
+        )
+        rids = submit_scripts_to_runtime(runtime, scripts, think_time_s=think)
+        report = runtime.run(max_steps=200_000)
+        reference = replay_scripts_sequential(lambda: fresh_engine(world), scripts)
+        for script in scripts:
+            got = [report.generated(rid) for rid in rids[script.seq_id]]
+            assert got == reference[script.seq_id], (
+                f"seq {script.seq_id} diverged (capacity={capacity}, chunk={chunk}, "
+                f"mode={mode}, order={order}, "
+                f"hits={report.metrics.prefix_hits}, "
+                f"prefix evictions={report.metrics.prefix_evictions}, "
+                f"preemptions={report.metrics.preemptions})"
+            )
+        assert all(r.state is RequestState.FINISHED for r in report.records.values())
+        # reuse accounting is internally consistent
+        m = report.metrics
+        assert m.prefix_hits + m.prefix_misses >= len(scripts) or capacity is not None
+        if m.prefix_hits:
+            assert m.prefix_reused_tokens >= m.prefix_hits
+
+    @given(shared_trace_case(), st.sampled_from([(1, 2), (2, 1), (2, 2)]))
+    @settings(**SETTINGS)
+    def test_prefix_cache_disaggregated_identical(self, case, split):
+        """Prefix cache on the prefill pool of any disaggregated split:
+        retained residents, delta-only reshipping and index adoptions
+        never change tokens."""
+        scripts, _world, chunk, capacity, think, order = case
+        world_p, world_d = split
+        engine = ContextParallelEngine(MODEL, world_size=world_p, capacity_tokens=capacity)
+        decode_engine = ContextParallelEngine(MODEL, world_size=world_d)
+        runtime = ContinuousBatchingRuntime(
+            engine,
+            decode_engine=decode_engine,
+            policy=ChunkedPrefillPolicy(
+                chunk_tokens=chunk, max_tokens_per_round=2 * chunk,
+                max_seqs_per_round=4, order=order,
+            ),
+            prefix_cache=True,
+        )
+        rids = submit_scripts_to_runtime(runtime, scripts, think_time_s=think)
+        report = runtime.run(max_steps=200_000)
+        reference = replay_scripts_sequential(lambda: fresh_engine(world_p), scripts)
+        for script in scripts:
+            got = [report.generated(rid) for rid in rids[script.seq_id]]
+            assert got == reference[script.seq_id], (
+                f"seq {script.seq_id} diverged (split={split}, capacity={capacity}, "
+                f"chunk={chunk}, hits={report.metrics.prefix_hits})"
+            )
+        assert all(r.state is RequestState.FINISHED for r in report.records.values())
+
+    @given(shared_trace_case(), st.sampled_from(["recompute", "trim", "swap"]), st.integers(1, 6))
+    @settings(**SETTINGS)
+    def test_prefix_cache_forced_eviction_storm(self, case, mode, every):
+        """A forced-eviction storm over shared-prefix traffic — donors
+        and borrowers evicted mid-flight, copy-on-write splits, pinned
+        prefixes dropped as last resort — never changes tokens."""
+        scripts, world, chunk, _, think, order = case
+        engine = ContextParallelEngine(MODEL, world_size=world)
+        runtime = ContinuousBatchingRuntime(
+            engine,
+            policy=ChunkedPrefillPolicy(
+                chunk_tokens=chunk, max_tokens_per_round=2 * chunk,
+                max_seqs_per_round=4, order=order,
+            ),
+            preemption=mode,
+            prefix_cache=True,
+        )
+        rids = submit_scripts_to_runtime(runtime, scripts, think_time_s=think)
+        steps = 0
+        forced = 0
+        while runtime.step():
+            steps += 1
+            if steps > 200_000:
+                pytest.fail("runtime did not drain")
+            if steps % every == 0 and forced < 25:
+                active = [
+                    r
+                    for r in runtime.report().records.values()
+                    if r.state in (RequestState.PREFILL, RequestState.DECODE)
+                    and runtime.engine.context_length(r.seq_id) > 0
+                ]
+                if active:
+                    victim = max(active, key=lambda r: (r.request.arrival, r.request_id))
+                    runtime.preempt(victim.request_id)
+                    forced += 1
+        report = runtime.report()
+        reference = replay_scripts_sequential(lambda: fresh_engine(world), scripts)
         for script in scripts:
             got = [report.generated(rid) for rid in rids[script.seq_id]]
             assert got == reference[script.seq_id]

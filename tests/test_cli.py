@@ -109,3 +109,31 @@ class TestCommands:
         data = json.loads(out.read_text())
         assert any(e.get("ph") == "X" for e in data["traceEvents"])
         assert "traced events" in capsys.readouterr().out
+
+
+class TestServePrefixCache:
+    def test_serve_prefix_cache_verifies_exactness(self, capsys):
+        assert main([
+            "serve", "--sessions", "4", "--turns", "2",
+            "--prefix-cache", "--traffic", "shared-prefix", "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "prefix cache:" in out
+        assert "hits" in out
+        assert "verify vs sequential replay: identical" in out
+
+    def test_serve_prefix_cache_disaggregated(self, capsys):
+        assert main([
+            "serve", "--sessions", "3", "--turns", "2", "--disaggregate", "2:1",
+            "--prefix-cache", "--traffic", "shared-prefix", "--verify",
+        ]) == 0
+        assert "verify vs sequential replay: identical" in capsys.readouterr().out
+
+    def test_serve_srpf_policy_verifies_exactness(self, capsys):
+        assert main([
+            "serve", "--sessions", "3", "--turns", "2", "--world", "2",
+            "--policy", "srpf", "--capacity", "80", "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "policy: srpf" in out
+        assert "verify vs sequential replay: identical" in out
