@@ -23,8 +23,14 @@ Commands:
   M-few-shot-variants workload that exercises it;
   ``--policy {fifo,srpf}`` picks the chunk-packing order
   (shortest-remaining-prefill-first trades head-of-line blocking for
-  mean TTFT); ``--verify`` bit-checks every decoded token against
-  sequential per-conversation replay.
+  mean TTFT); ``--faults`` arms the deterministic chaos layer
+  (``transfer=0.2,swap=0.2,pool_reset=1,deadline=30,queue=16`` — see
+  :meth:`repro.runtime.faults.FaultPlan.parse`), seeded by
+  ``--fault-seed`` (default: ``--seed``, so one seed reproduces both
+  the workload and the fault schedule); ``--verify`` bit-checks every
+  decoded token against sequential per-conversation replay (under
+  faults, every *completed* request — shed and timed-out requests
+  claim nothing).
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         capacity_scaling,
         disagg_runtime,
         disaggregation,
+        fault_tolerance,
         gqa_sensitivity,
         pp_vs_cp,
         preemption_modes,
@@ -57,6 +64,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     results.append(disagg_runtime.run())
     results.append(preemption_modes.run())
     results.append(prefix_reuse.run())
+    results.append(fault_tolerance.run())
     if not args.fast:
         results.append(serving_load.run())
     for res in results:
@@ -153,7 +161,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.model.llama import LlamaModel
     from repro.perf.hardware import gti_host, gtt_host
     from repro.perf.latency import LatencySimulator
-    from repro.runtime import ContinuousBatchingRuntime, SimulatedStepClock
+    from repro.runtime import ContinuousBatchingRuntime, FaultPlan, SimulatedStepClock
+    from repro.runtime.state import RequestState
     from repro.serving.scheduler import ChunkedPrefillPolicy
     from repro.workloads.generator import WorkloadGenerator
     from repro.workloads.replay import (
@@ -225,6 +234,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    faults = None
+    if args.faults is not None:
+        # one seed controls workload AND fault plan unless split explicitly
+        fault_seed = args.fault_seed if args.fault_seed is not None else args.seed
+        try:
+            faults = FaultPlan.parse(args.faults, seed=fault_seed)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    elif args.fault_seed is not None:
+        print("error: --fault-seed only applies with --faults", file=sys.stderr)
+        return 2
     world = args.world if args.world is not None else 2
 
     policy = ChunkedPrefillPolicy(
@@ -237,6 +258,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         preemption=args.preemption,
         swap_capacity_tokens=args.swap_capacity,
         prefix_cache=args.prefix_cache,
+        faults=faults,
     )
     if pools is None:
         engine = ContextParallelEngine(
@@ -280,6 +302,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"preemption: {args.preemption}, {extras}, "
         f"priced as 405B on CP{args.priced_ranks} {host.name})"
     )
+    if faults is not None:
+        print(f"fault plan (seed {faults.seed}): {faults.describe()}")
+        outcomes = ", ".join(
+            f"{k}: {v}" for k, v in sorted(report.statuses().items())
+        )
+        print(f"request outcomes: {outcomes}")
+        print(f"goodput: {report.goodput():.3f} completed requests/s")
     print(f"rounds: {report.prefill_rounds} prefill, {report.decode_rounds} decode")
     print(f"makespan: {report.makespan:.1f}s simulated, "
           f"{report.tokens_per_second():.2f} decoded tok/s")
@@ -300,14 +329,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         scripts,
     )
-    mismatches = 0
+    mismatches = compared = skipped = 0
     for script in scripts:
-        got = [report.generated(rid) for rid in rids[script.seq_id]]
-        if got != reference[script.seq_id]:
-            mismatches += 1
-            print(f"MISMATCH seq {script.seq_id}: {got} != {reference[script.seq_id]}")
-    verdict = "identical" if mismatches == 0 else f"{mismatches} conversations differ"
-    print(f"verify vs sequential replay: {verdict}")
+        ref_turns = reference[script.seq_id]
+        for i, rid in enumerate(rids[script.seq_id]):
+            if report.records[rid].state is not RequestState.FINISHED:
+                # shed/timed-out turns claim nothing; the exactness
+                # contract under faults covers completed requests only
+                skipped += 1
+                continue
+            compared += 1
+            got = list(report.generated(rid))
+            if got != list(ref_turns[i]):
+                mismatches += 1
+                print(f"MISMATCH seq {script.seq_id} turn {i}: "
+                      f"{got} != {ref_turns[i]}")
+    verdict = "identical" if mismatches == 0 else f"{mismatches} turns differ"
+    scope = f"{compared} completed turns"
+    if skipped:
+        scope += f", {skipped} shed/timed-out skipped"
+    print(f"verify vs sequential replay: {verdict} ({scope})")
     return 0 if mismatches == 0 else 1
 
 
@@ -393,6 +434,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy", choices=["fifo", "srpf"], default="fifo",
         help="chunked-prefill packing order: arrival order (fifo, default) "
              "or shortest-remaining-prefill-first (srpf)",
+    )
+    p_serve.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="arm the deterministic chaos layer: comma-separated key=value "
+             "spec, e.g. transfer=0.2,swap=0.2,pool_reset=1,deadline=30,"
+             "queue=16 (keys: transfer/swap fault rates, pool_reset count, "
+             "window, retries, backoff, backoff_cap, deadline seconds, "
+             "queue depth cap)",
+    )
+    p_serve.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed of the fault schedule (default: --seed, so one seed "
+             "reproduces workload and faults together; only with --faults)",
     )
     p_serve.add_argument("--chunk", type=int, default=16, help="prefill chunk tokens")
     p_serve.add_argument("--round-budget", type=int, default=32,

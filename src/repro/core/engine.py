@@ -794,3 +794,54 @@ class ContextParallelEngine:
     def context_length(self, seq_id: int) -> int:
         """Committed context length of ``seq_id``."""
         return self.seq_lengths.get(seq_id, 0)
+
+    def kv_leak_report(self) -> list[str]:
+        """Audit KV bookkeeping consistency; returns violations (empty = clean).
+
+        The fault-injection property uses this after a drained run to
+        prove that pool resets, sheds, and degraded fallbacks left no
+        dangling state behind:
+
+        - every cached sequence id on every rank is tracked in
+          ``seq_lengths``, and its per-rank cached tokens sum to the
+          tracked length (no orphaned KV, no length drift);
+        - with no resident sequences, every bounded rank's paged
+          allocator is fully free (no leaked block refcounts);
+        - every radix anchor describes a resident sequence, never more
+          tokens than are committed, and every pin targets an anchor
+          (no dangling donors or stale pins).
+        """
+        problems: list[str] = []
+        for rank, cache in enumerate(self.caches):
+            for sid in cache.sequence_ids():
+                if sid not in self.seq_lengths:
+                    problems.append(f"rank {rank}: orphaned KV for untracked seq {sid}")
+            alloc = cache._allocator
+            if alloc is not None:
+                problems.extend(f"rank {rank}: {p}" for p in alloc.audit())
+                if not self.seq_lengths and alloc.used_blocks:
+                    problems.append(
+                        f"rank {rank}: {alloc.used_blocks} blocks leaked with no "
+                        "resident sequences"
+                    )
+        for sid, length in sorted(self.seq_lengths.items()):
+            resident = sum(cache.tokens(sid) for cache in self.caches)
+            if resident != length:
+                problems.append(
+                    f"seq {sid}: ranks hold {resident} tokens but tracked length is {length}"
+                )
+        if self.prefix_index is not None:
+            self._flush_index()
+            for sid in self.prefix_index.anchors():
+                anchored = self.prefix_index.anchor_length(sid)
+                if sid not in self.seq_lengths:
+                    problems.append(f"dangling radix anchor for evicted seq {sid}")
+                elif anchored > self.seq_lengths[sid]:
+                    problems.append(
+                        f"seq {sid}: anchor covers {anchored} tokens but only "
+                        f"{self.seq_lengths[sid]} are resident"
+                    )
+            for sid in sorted(self.prefix_index.pins()):
+                if sid not in self.prefix_index:
+                    problems.append(f"stale pin on non-anchor seq {sid}")
+        return problems

@@ -27,6 +27,8 @@ Index (paper -> module):
   :mod:`repro.experiments.preemption_modes`
 - shared-prefix KV reuse (radix prefix cache, warm-vs-cold TTFT) ->
   :mod:`repro.experiments.prefix_reuse`
+- fault injection & graceful degradation (fault rate x recovery policy,
+  goodput/completion rate) -> :mod:`repro.experiments.fault_tolerance`
 """
 
 from repro.experiments.base import ExperimentResult

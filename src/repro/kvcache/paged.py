@@ -296,3 +296,38 @@ class PagedAllocator:
 
     def streams(self) -> list[tuple]:
         return list(self._owners)
+
+    def audit(self) -> list[str]:
+        """Refcount-consistency check; returns violations (empty = clean).
+
+        The fault-injection leak audit runs this after a drained run:
+        whole-pool resets and mid-stream sheds exercise release paths
+        under sharing, and any miscounted reference would either leak a
+        block forever or hand one block to two streams. Verifies the
+        pool partitions exactly into free and referenced blocks, and
+        that every block's refcount equals the number of streams whose
+        block lists contain it.
+        """
+        problems: list[str] = []
+        refs: dict[int, int] = {}
+        for blocks in self._owners.values():
+            for b in blocks:
+                refs[b] = refs.get(b, 0) + 1
+        free = set(self._free)
+        for b, n in sorted(refs.items()):
+            if self._ref.get(b, 0) != n:
+                problems.append(
+                    f"block {b}: refcount {self._ref.get(b, 0)} but "
+                    f"{n} stream references"
+                )
+            if b in free:
+                problems.append(f"block {b}: simultaneously free and referenced")
+        for b in sorted(self._ref):
+            if b not in refs:
+                problems.append(f"block {b}: refcount {self._ref[b]} with no owning stream")
+        if len(free) + len(refs) != self.num_blocks:
+            problems.append(
+                f"pool does not partition: {len(free)} free + {len(refs)} "
+                f"referenced != {self.num_blocks} blocks"
+            )
+        return problems

@@ -245,6 +245,16 @@ class PrefixIndex:
     def pinned(self, seq_id: int) -> bool:
         return self._pins.get(seq_id, 0) > 0
 
+    def pins(self) -> dict[int, int]:
+        """Live pin counts per sequence (diagnostics / leak audits).
+
+        A pin on a sequence no longer in :meth:`anchors` is legal while
+        its borrower is mid-adoption, but after a runtime drains — fault
+        injection included — every surviving pin must target an anchor;
+        the engine's ``kv_leak_report`` checks exactly that.
+        """
+        return dict(self._pins)
+
     def touch(self, seq_id: int) -> None:
         """Mark ``seq_id`` used now (monotonic LRU clock)."""
         self._clock += 1

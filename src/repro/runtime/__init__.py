@@ -14,18 +14,26 @@ through the radix prefix cache (:mod:`repro.kvcache.prefix_index`) with
 refcounted copy-on-write paged blocks. One engine gives the colocated
 deployment; a second engine turns
 it into the disaggregated prefill/decode pools of §4.3, connected by a
-priced, serialized KV-transfer stream. Decoded tokens are identical to
-replaying every conversation sequentially; only placement and
-(simulated) timing change.
+priced, serialized KV-transfer stream. A seeded fault plan
+(:mod:`repro.runtime.faults`) makes every fallible component fail on
+purpose — mid-stream transfer deaths, lost swap payloads, whole-pool KV
+resets, deadlines and queue backpressure — with a degradation ladder
+(retry with capped backoff -> recompute -> shed) keeping every run
+draining. Decoded tokens of every *completed* request are identical to
+replaying its conversation sequentially; only placement, (simulated)
+timing, and — under faults — completion change.
 """
 
 from repro.runtime.clock import SimulatedStepClock, UnitStepClock
+from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.runtime import ContinuousBatchingRuntime, RuntimeReport
 from repro.runtime.state import RequestRecord, RequestState, TurnRequest
 from repro.runtime.transfer import KVTransferStream, Transfer
 
 __all__ = [
     "ContinuousBatchingRuntime",
+    "FaultInjector",
+    "FaultPlan",
     "KVTransferStream",
     "RequestRecord",
     "RequestState",

@@ -35,6 +35,10 @@ Pricing conventions (documented approximations):
   pcie_bandwidth`` for the calibrated clock), charged once per direction.
   The swapping pool stalls for the DMA — the honest price DistServe /
   Mooncake-class systems pay for trading HBM against host memory.
+- Fault-retry backoff delays (:meth:`repro.runtime.faults.FaultPlan
+  .backoff`) are raw simulated seconds added to a rescheduled
+  transfer's requested time — they are wall-style waiting, not priced
+  work, so neither clock is consulted for them.
 """
 
 from __future__ import annotations

@@ -91,11 +91,28 @@ Scheduling model (event-driven, deterministic):
   each transfer, so follow-up turns skip the history recompute and ship
   only deltas (Mooncake's KVCache-centric architecture).
 
+- **Fault injection & graceful degradation** (``faults=``): a seeded
+  :class:`repro.runtime.faults.FaultPlan` makes the failure surface
+  explicit — in-flight KV transfers die mid-stream (retried with capped
+  exponential backoff, then degraded to full re-prefill of the committed
+  history), host-stored swap payloads vanish at swap-in time (recompute
+  fallback), and whole pools reset, requeueing every holder with
+  consistent prefix-index/allocator invalidation. Per-request deadlines
+  shed late requests (``timed_out``) and a queue-depth cap rejects
+  admissions under overload (``shed``), so saturation degrades
+  completion rate instead of wedging the run. Every recovery path lands
+  on machinery preemption already exercises, so faults change *which*
+  requests complete and *when* — never the tokens a completed request
+  streams.
+
 Exactness contract: for greedy decoding, the per-request token streams are
 identical to replaying each conversation sequentially through
 :class:`repro.serving.session.ChatSession` on a dedicated engine —
-continuous batching, chunking, preemption, pool splits and transfer
-schedules change *placement and timing*, never values.
+continuous batching, chunking, preemption, pool splits, transfer and
+fault/retry/shed schedules change *placement, timing and completion*,
+never values. Under faults the contract is scoped to requests that reach
+``FINISHED`` (:attr:`RuntimeReport.completed`): a shed request's partial
+stream carries no exactness claim.
 """
 
 from __future__ import annotations
@@ -109,6 +126,7 @@ from repro.core.engine import ContextParallelEngine
 from repro.core.sharding import SequenceSpec
 from repro.model.sampling import sample_greedy
 from repro.runtime.clock import UnitStepClock
+from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.state import RequestRecord, RequestState, TurnRequest
 from repro.runtime.transfer import KVTransferStream
 from repro.serving.metrics import ServingMetrics
@@ -161,6 +179,33 @@ class RuntimeReport:
     def generated(self, request_id: int) -> list[int]:
         return list(self.records[request_id].generated)
 
+    @property
+    def completed(self) -> dict[int, RequestRecord]:
+        """Records that reached ``FINISHED`` — the population the
+        serving-exactness contract covers under fault schedules (a
+        ``timed_out``/``shed`` request's partial stream claims nothing).
+        Callers should use this instead of inferring outcomes from token
+        counts."""
+        return {
+            rid: rec
+            for rid, rec in self.records.items()
+            if rec.state is RequestState.FINISHED
+        }
+
+    def statuses(self) -> dict[str, int]:
+        """Terminal-status histogram (``finished``/``timed_out``/``shed``;
+        in-flight requests under ``None``'s key ``"running"``)."""
+        counts: dict[str, int] = {}
+        for rec in self.records.values():
+            key = rec.status or "running"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def goodput(self) -> float:
+        """Completed requests per simulated host-second over the makespan
+        (DistServe's serving-quality axis; 0 before any time elapses)."""
+        return len(self.completed) / self.makespan if self.makespan > 0 else 0.0
+
     def pool_utilization(self) -> dict[str, float]:
         """Busy fraction per pool over the makespan."""
         return {
@@ -211,6 +256,12 @@ class ContinuousBatchingRuntime:
             (disaggregated: the prefill-pool copy; the decode pool never
             donates), and matched donors are pinned for the borrowing
             request's lifetime.
+        faults: optional :class:`repro.runtime.faults.FaultPlan` turning
+            on deterministic fault injection — seeded transfer failures
+            (retry with capped backoff, then re-prefill fallback), swap
+            losses (recompute fallback), whole-pool KV resets, per-request
+            deadlines (timeout shedding) and queue-depth backpressure.
+            ``None`` (default) or an inactive plan injects nothing.
     """
 
     def __init__(
@@ -225,6 +276,7 @@ class ContinuousBatchingRuntime:
         preemption: str = "recompute",
         swap_capacity_tokens: int | None = None,
         prefix_cache: bool = False,
+        faults: FaultPlan | None = None,
     ):
         if max_prefill_rounds_per_decode < 1:
             raise ValueError(
@@ -263,6 +315,17 @@ class ContinuousBatchingRuntime:
         self.max_prefill_rounds_per_decode = max_prefill_rounds_per_decode
         self.preemption = preemption
         self.swap_capacity_tokens = swap_capacity_tokens
+        self.faults = faults
+        self._injector = (
+            FaultInjector(
+                faults,
+                pools=(POOL_PREFILL, POOL_DECODE)
+                if self.disaggregated
+                else (POOL_PREFILL,),
+            )
+            if faults is not None and faults.active
+            else None
+        )
         # radix prefix cache lives on the prefill engine: that is where
         # fresh streams are admitted and where shared blocks save both
         # capacity and prefill compute
@@ -378,6 +441,10 @@ class ContinuousBatchingRuntime:
         event). Returns ``True`` while unfinished requests remain."""
         if not self._any_live():
             return False
+        if self._injector is not None:
+            self._apply_faults()
+            if not self._any_live():
+                return False
         if self.disaggregated:
             return self._step_disaggregated()
         self._admit()
@@ -541,6 +608,17 @@ class ContinuousBatchingRuntime:
         for seq_id in sorted(self._waiting):
             rec = self._records[self._chains[seq_id][0]]
             if rec.request.arrival > self._t_prefill:
+                continue
+            if (
+                self.faults is not None
+                and self.faults.max_queue_depth is not None
+                and len(self._prefill_queue) >= self.faults.max_queue_depth
+            ):
+                # overload backpressure (Mooncake-style early rejection):
+                # rejecting at admission costs nothing yet; the rest of
+                # the conversation cascades because its turns can never
+                # run without this one's tokens
+                self._shed_chain(rec, status=RequestState.SHED, at=self._t_prefill)
                 continue
             self._waiting.discard(seq_id)
             rec.state = RequestState.PREFILL
@@ -864,6 +942,32 @@ class ContinuousBatchingRuntime:
                     transfer, tokens - transfer.tokens, self._t_decode
                 )
                 landed = True  # wire state changed: this step made progress
+                continue
+            if (
+                self._injector is not None
+                and transfer.tokens > 0
+                and self._injector.transfer_fails(sid, transfer.request_id)
+            ):
+                # mid-stream failure: the payload dies at landing time, so
+                # every wire second it streamed is sunk (cancel at >= finish
+                # refunds nothing). Degradation ladder: retry the full
+                # current delta after capped exponential backoff, then —
+                # past the retry budget — fall back to a full re-prefill
+                # of the committed history (always available).
+                self.transfer_stream.cancel(sid, now=self._t_decode)
+                rec.transfer_faults += 1
+                attempt = self._injector.transfer_faults_injected(transfer.request_id)
+                if attempt <= self.faults.max_transfer_retries:
+                    delay = self.faults.backoff(attempt)
+                    self.metrics.record_transfer_fault(retried=True, backoff_s=delay)
+                    self.transfer_stream.schedule(
+                        sid, transfer.request_id, tokens, self._t_decode + delay
+                    )
+                else:
+                    self.metrics.record_transfer_fault(retried=False)
+                    self.metrics.record_degraded_fallback()
+                    self._preempt_record(rec, at=self._t_decode)
+                landed = True
                 continue
             demand = self.decode_engine.import_token_demand(sid, tokens)
             admitted = True
@@ -1266,6 +1370,16 @@ class ContinuousBatchingRuntime:
             rec = self._records[rid]
             if rec.ready_at > self._pool_time(pool):
                 continue
+            if self._injector is not None and self._injector.swap_lost(rec.seq_id, rid):
+                # the host-store payload is gone at swap-in time: degrade
+                # to the recompute path a capacity-blocked swap-in already
+                # takes (drop the store entry, re-prefill committed history)
+                tokens = self._swap_store[self._store_pool(pool)][rec.seq_id].tokens
+                self.metrics.record_swap_loss(tokens)
+                self.metrics.record_degraded_fallback()
+                self._spill_swapped(entry)
+                progressed = True
+                continue
             engine = self._pool_engine(pool)
             store_pool = self._store_pool(pool)
             export = self._swap_store[store_pool][rec.seq_id]
@@ -1330,6 +1444,118 @@ class ContinuousBatchingRuntime:
         self._prefill_queue = [
             (key, rid) for key, rid in self._prefill_queue if rid != rec.request_id
         ]
+
+    # ------------------------------------------------------------------ #
+    # fault injection & shedding (deterministic chaos layer)
+    # ------------------------------------------------------------------ #
+
+    def _apply_faults(self) -> None:
+        """Fire due scheduled faults before the step picks a round:
+        deadline timeouts first (a request a reset would requeue may
+        already be dead), then whole-pool resets."""
+        plan = self.faults
+        if plan.deadline_s is not None:
+            now = self.now
+            for seq_id in sorted(self._chains):
+                chain = self._chains.get(seq_id)
+                if not chain:
+                    continue
+                rec = self._records[chain[0]]
+                if rec.request.arrival + plan.deadline_s < now:
+                    self._shed_chain(rec, status=RequestState.TIMED_OUT, at=now)
+        rounds = self.prefill_rounds + self.decode_rounds
+        for pool in self._injector.pool_resets_due(rounds):
+            self._reset_pool(pool, at=self._pool_time(pool))
+
+    def _reset_pool(self, pool: str, *, at: float) -> None:
+        """Whole-pool KV reset: every resident block of ``pool`` is gone.
+
+        Holders whose *active* KV lived here are requeued through the
+        ordinary full-eviction path (transfer cancels, prefix-field
+        resets, FIFO re-entry — all of :meth:`_preempt_record`); idle
+        residents (between-turns conversations, cached prefixes, copies
+        whose activity is in the other pool) are simply dropped. The
+        engine's evict keeps prefix-index anchors and allocator
+        refcounts consistent — shared blocks survive for their
+        borrowers, and an in-flight transfer whose *decode-side* copy
+        vanished re-ships the history at landing time. Host-store
+        (swapped) payloads live off-pool and survive a reset.
+        """
+        engine = self._pool_engine(pool)
+        holders = sorted(self._pool_holders(pool))
+        self.metrics.record_pool_reset(
+            sum(engine.context_length(sid) for sid in holders)
+        )
+        for seq_id in holders:
+            chain = self._chains.get(seq_id)
+            head = self._records[chain[0]] if chain else None
+            preempt = head is not None and (
+                (
+                    head.state in _ACTIVE_STATES
+                    and (not self.disaggregated or self._pool_of(head) == pool)
+                )
+                or (head.state is RequestState.PREEMPTED and pool == POOL_PREFILL)
+            )
+            if preempt:
+                self._preempt_record(head, at=at)
+                continue
+            tokens = engine.context_length(seq_id)
+            if tokens:
+                engine.evict(seq_id)
+                if head is None and self.prefix_index is not None:
+                    self.metrics.record_prefix_eviction(tokens)
+            self._pool_holders(pool).discard(seq_id)
+
+    def _shed_chain(self, rec: RequestRecord, *, status: RequestState, at: float) -> None:
+        """Terminally shed ``rec`` (the head turn of its conversation)
+        and cascade every later turn — they can never run without this
+        one's tokens. The direct victim takes ``status`` (``TIMED_OUT``
+        or ``SHED``); cascaded turns are always ``SHED``. Releases every
+        copy of the conversation's KV (both pools and the host store)
+        and unpins any adopted donor, so shedding is leak-free."""
+        seq_id = rec.seq_id
+        chain = self._chains.get(seq_id)
+        assert chain and chain[0] == rec.request_id, "only chain heads are shed"
+        self._waiting.discard(seq_id)
+        for i, rid in enumerate(list(chain)):
+            self._shed_one(
+                self._records[rid],
+                status=status if i == 0 else RequestState.SHED,
+                at=at,
+            )
+        for pool in (POOL_PREFILL, POOL_DECODE):
+            engine = self._pool_engine(pool)
+            if engine.context_length(seq_id):
+                engine.evict(seq_id)
+            self._pool_holders(pool).discard(seq_id)
+            store_pool = self._store_pool(pool)
+            export = self._swap_store[store_pool].pop(seq_id, None)
+            if export is not None:
+                self._swap_used[store_pool] -= export.tokens
+        del self._chains[seq_id]
+        del self._turn_history[seq_id]
+
+    def _shed_one(self, rec: RequestRecord, *, status: RequestState, at: float) -> None:
+        """Move one request to a shed terminal state, detaching it from
+        every scheduler structure (FIFO, decode set, swap queue, wire)."""
+        if rec.state is RequestState.KV_TRANSFER:
+            cancelled = self.transfer_stream.cancel(rec.seq_id, now=at)
+            if cancelled is not None:
+                self.metrics.record_transfer_cancel(refunded=cancelled.sunk_s <= 0.0)
+        if rec.state is RequestState.SWAPPED:
+            self._swap_wait = [e for e in self._swap_wait if e[1] != rec.request_id]
+        self._dequeue_prefill(rec)
+        self._decoding.discard(rec.request_id)
+        self._live.discard(rec.request_id)
+        if rec.prefix_donor is not None:
+            self.prefix_index.unpin(rec.prefix_donor)
+            rec.prefix_donor = None
+        rec.state = status
+        rec.finished_at = at
+        if status is RequestState.TIMED_OUT:
+            self.metrics.record_timeout()
+        else:
+            self.metrics.record_shed()
 
     # ------------------------------------------------------------------ #
     # completion

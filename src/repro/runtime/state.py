@@ -34,7 +34,16 @@ Each conversation turn moves through::
   request resumes exactly where it was — a decode victim re-enters
   DECODE with its pending sampled token, a prefill victim rejoins the
   prefill FIFO mid-chunk. No recompute happens in either direction.
-- **FINISHED**: terminal.
+- **FINISHED**: terminal — the turn completed its full decode budget.
+- **TIMED_OUT** (fault-injection runtimes only): terminal — the request
+  blew past its per-request deadline (``FaultPlan.deadline_s``) and was
+  shed, along with every later turn of its conversation.
+- **SHED** (fault-injection runtimes only): terminal — rejected by
+  queue-depth backpressure at admission, or cascaded from an earlier
+  turn of the same conversation being shed/timed out. Shed requests
+  release all of the conversation's KV; their partial token streams are
+  not part of the serving-exactness contract (only ``FINISHED``
+  requests are compared against sequential replay).
 """
 
 from __future__ import annotations
@@ -55,6 +64,14 @@ class RequestState(enum.Enum):
     PREEMPTED = "preempted"
     SWAPPED = "swapped"
     FINISHED = "finished"
+    TIMED_OUT = "timed_out"
+    SHED = "shed"
+
+
+#: Terminal states a request can end in. Only FINISHED counts as
+#: *completed* — the population the serving-exactness property compares
+#: against sequential replay and the goodput metric counts.
+TERMINAL_STATES = (RequestState.FINISHED, RequestState.TIMED_OUT, RequestState.SHED)
 
 
 @dataclass(eq=False)
@@ -129,6 +146,8 @@ class RequestRecord:
             request's lifetime (unpinned at finish).
         preemptions: times this turn was evicted (any remedy: recompute,
             tail-trim, or swap).
+        transfer_faults: injected mid-stream KV-transfer failures this
+            turn absorbed (retries plus a possible re-prefill fallback).
         chunk_algos: planner decision per executed prefill chunk.
         admitted_at / first_token_at / finished_at: simulated timestamps.
         token_times: simulated emission time of every generated token
@@ -149,6 +168,7 @@ class RequestRecord:
     prefix_shared: int = 0
     prefix_donor: int | None = None
     preemptions: int = 0
+    transfer_faults: int = 0
     chunk_algos: list[str] = field(default_factory=list)
     admitted_at: float | None = None
     first_token_at: float | None = None
@@ -172,6 +192,16 @@ class RequestRecord:
     @property
     def prefill_remaining(self) -> int:
         return int(self.pending_input.size) - self.prefill_done
+
+    @property
+    def status(self) -> str | None:
+        """Terminal outcome: ``"finished"`` / ``"timed_out"`` /
+        ``"shed"``, or ``None`` while the request is still in flight.
+        Callers should branch on this, not on token counts — a shed
+        request may have streamed a partial response before dying."""
+        if self.state in TERMINAL_STATES:
+            return self.state.value
+        return None
 
     @property
     def ttft(self) -> float:

@@ -22,6 +22,12 @@ The physical payload (:class:`repro.core.engine.KVExport`) is exported
 and imported by the runtime at landing time, not held here — so a
 transfer cancelled by a prefill-pool eviction simply never lands, and
 the re-prefilled conversation schedules a fresh transfer later.
+
+The cancel/refund machinery doubles as the retry mechanics of the fault
+injection layer (:mod:`repro.runtime.faults`): an injected mid-stream
+transfer death is a ``cancel`` at landing time — every wire second is
+already sunk, nothing refunds — followed by a fresh ``schedule`` of the
+same delta at ``now + backoff``.
 """
 
 from __future__ import annotations

@@ -24,6 +24,12 @@ class ServingMetrics:
     disaggregated) runtime's event loop: per-pool utilization is
     ``pool_busy_s[pool] / makespan``, and the transfer-stall counter is
     the decode-pool idle time spent waiting for KV still on the wire.
+    Fault counters are fed by the runtime's chaos layer
+    (:mod:`repro.runtime.faults`): injected transfer failures (split
+    into backoff retries and re-prefill fallbacks), lost swap payloads,
+    whole-pool resets, degraded-ladder fallbacks, and the
+    deadline/backpressure shedding tallies behind the ``goodput``
+    metric (completed requests per simulated host-second).
     """
 
     ttft_samples: list[float] = field(default_factory=list)
@@ -54,9 +60,21 @@ class ServingMetrics:
     prefix_evicted_tokens: int = 0
     ttft_cold_samples: list[float] = field(default_factory=list)
     ttft_warm_samples: list[float] = field(default_factory=list)
+    transfer_faults: int = 0
+    fault_retries: int = 0
+    fault_backoff_s: float = 0.0
+    swap_losses: int = 0
+    swap_lost_tokens: int = 0
+    pool_resets: int = 0
+    pool_reset_evicted_tokens: int = 0
+    degraded_fallbacks: int = 0
+    timeouts: int = 0
+    sheds: int = 0
+    completed_requests: int = 0
 
     def record_turn(self, turn: TurnRecord, *, ttft: float | None = None, ttit: float | None = None) -> None:
         self.turns.append(turn)
+        self.completed_requests += 1
         if ttft is not None:
             self.ttft_samples.append(float(ttft))
         if ttit is not None:
@@ -149,6 +167,48 @@ class ServingMetrics:
         """
         (self.ttft_warm_samples if warm else self.ttft_cold_samples).append(float(ttft))
 
+    def record_transfer_fault(self, *, retried: bool, backoff_s: float = 0.0) -> None:
+        """Count one injected mid-stream KV-transfer failure.
+
+        Args:
+            retried: the degradation ladder rescheduled the payload
+                after ``backoff_s`` of capped exponential backoff;
+                ``False`` means the retry budget was spent and the
+                request fell back to full re-prefill (counted separately
+                via :meth:`record_degraded_fallback`).
+            backoff_s: retry delay charged to the wire schedule.
+        """
+        if backoff_s < 0:
+            raise ValueError(f"backoff must be >= 0, got {backoff_s}")
+        self.transfer_faults += 1
+        if retried:
+            self.fault_retries += 1
+            self.fault_backoff_s += float(backoff_s)
+
+    def record_swap_loss(self, tokens: int) -> None:
+        """Count one host-store payload lost at swap-in time."""
+        self.swap_losses += 1
+        self.swap_lost_tokens += int(tokens)
+
+    def record_pool_reset(self, evicted_tokens: int) -> None:
+        """Count one whole-pool KV reset and the resident KV it dropped."""
+        self.pool_resets += 1
+        self.pool_reset_evicted_tokens += int(evicted_tokens)
+
+    def record_degraded_fallback(self) -> None:
+        """Count one degradation-ladder bottom-out: a fault recovery that
+        ended in recomputation (re-prefill) instead of the cheap path."""
+        self.degraded_fallbacks += 1
+
+    def record_timeout(self) -> None:
+        """Count one request shed for blowing its completion deadline."""
+        self.timeouts += 1
+
+    def record_shed(self) -> None:
+        """Count one request shed by queue-depth backpressure (or
+        cascaded from an earlier shed turn of its conversation)."""
+        self.sheds += 1
+
     def record_transfer_stall(self, seconds: float) -> None:
         """Account decode-pool idle time spent waiting on the KV stream.
 
@@ -221,6 +281,14 @@ class ServingMetrics:
             return float("nan")
         return self.pool_busy_s[pool] / makespan
 
+    def goodput(self, makespan: float) -> float:
+        """Completed requests per simulated host-second (DistServe's
+        serving-quality axis — shed/timed-out requests count against it
+        by not counting at all). 0 before any time elapses."""
+        if makespan <= 0:
+            return 0.0
+        return self.completed_requests / makespan
+
     def summary(self) -> str:
         lines = [
             f"turns: {len(self.turns)}",
@@ -275,6 +343,20 @@ class ServingMetrics:
                 f"{self.transfers_cancelled} cancelled "
                 f"({self.transfers_refunded} refunded), "
                 f"{self.transfer_stall_s:.3f}s decode stall)"
+            )
+        if self.transfer_faults or self.swap_losses or self.pool_resets:
+            lines.append(
+                f"injected faults: {self.transfer_faults} transfer "
+                f"({self.fault_retries} retried, {self.fault_backoff_s:.3f}s backoff), "
+                f"{self.swap_losses} swap losses ({self.swap_lost_tokens} tokens), "
+                f"{self.pool_resets} pool resets "
+                f"({self.pool_reset_evicted_tokens} tokens dropped); "
+                f"{self.degraded_fallbacks} degraded to recompute"
+            )
+        if self.timeouts or self.sheds:
+            lines.append(
+                f"shed: {self.timeouts} timed out, {self.sheds} rejected/cascaded "
+                f"({self.completed_requests} requests completed)"
             )
         if self.pool_busy_s:
             busy = ", ".join(

@@ -1,0 +1,255 @@
+"""Property test: serving exactness holds over randomized fault schedules.
+
+The fault-injection layer (:mod:`repro.runtime.faults`) rescopes the
+runtime's serving-exactness contract: under any deterministic schedule
+of mid-stream KV-transfer deaths (retried with capped backoff, then
+degraded to full re-prefill), lost swap payloads (recomputed), whole
+pool KV resets (every holder requeued), per-request deadlines and
+queue-depth backpressure, three things must hold for every deployment
+shape (colocated and disaggregated) and every preemption remedy
+(recompute / trim / swap):
+
+- **every run drains** — each request reaches a terminal state
+  (``finished`` / ``timed_out`` / ``shed``); fault budgets guarantee
+  recovery terminates;
+- **completed requests are exact** — every request that reaches
+  ``FINISHED`` streamed tokens bit-identical to replaying its
+  conversation alone, uninterrupted, fault-free; shed and timed-out
+  requests claim nothing;
+- **nothing leaks** — after the drain, the engines' KV bookkeeping
+  audits clean (:meth:`kv_leak_report`): no orphaned KV, no leaked
+  paged-allocator blocks or refcounts, no dangling radix anchors or
+  stale donor pins — even after pool resets tore down every resident.
+
+A determinism property pins the CLI contract on top: the same fault
+seed over the same workload reproduces the identical outcome map,
+token streams, and fault counts.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import ContextParallelEngine
+from repro.model.config import tiny_config
+from repro.model.llama import LlamaModel
+from repro.runtime import ContinuousBatchingRuntime, FaultPlan, RequestState
+from repro.serving.scheduler import ChunkedPrefillPolicy
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.replay import (
+    replay_scripts_sequential,
+    submit_scripts_to_runtime,
+)
+
+MODEL = LlamaModel(tiny_config(), seed=0)
+VOCAB = MODEL.config.vocab_size
+SETTINGS = dict(max_examples=10, deadline=None)
+
+MODES = ("recompute", "trim", "swap")
+
+
+def fresh_engine(world):
+    return ContextParallelEngine(LlamaModel(tiny_config(), seed=0), world_size=world)
+
+
+@st.composite
+def fault_case(draw):
+    """A workload plus a fault plan plus a deployment/remedy choice."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    n_sessions = draw(st.integers(1, 4))
+    turns = draw(st.integers(1, 3))
+    chunk = draw(st.sampled_from([5, 16]))
+    # None = no pressure; small pools force organic preemptions that
+    # interleave with the injected faults
+    capacity = draw(st.sampled_from([None, 96, 144]))
+    think = draw(st.sampled_from([0.0, 2.5]))
+    mode = draw(st.sampled_from(MODES))
+    prefix_cache = draw(st.booleans())
+    plan = FaultPlan(
+        seed=draw(st.integers(0, 2**16)),
+        transfer_fail_rate=draw(st.sampled_from([0.0, 0.3, 0.8])),
+        swap_loss_rate=draw(st.sampled_from([0.0, 0.5])),
+        pool_resets=draw(st.integers(0, 2)),
+        pool_reset_window=draw(st.sampled_from([8, 24])),
+        backoff_base_s=0.5,
+        deadline_s=draw(st.sampled_from([None, 20.0])),
+        max_queue_depth=draw(st.sampled_from([None, 2])),
+    )
+    gen = WorkloadGenerator(VOCAB, seed=seed)
+    scripts = [
+        gen.conversation(
+            sid,
+            turns=turns,
+            first_prompt=int(gen.rng.integers(10, 50)),
+            followup_range=(4, 12),
+            response_range=(2, 5),
+        )
+        for sid in range(n_sessions)
+    ]
+    return scripts, chunk, capacity, think, mode, prefix_cache, plan
+
+
+def _build(scripts, chunk, capacity, mode, prefix_cache, plan, split):
+    """A runtime over ``split`` (int = colocated world, tuple = pools)."""
+    kwargs = dict(
+        policy=ChunkedPrefillPolicy(
+            chunk_tokens=chunk, max_tokens_per_round=2 * chunk, max_seqs_per_round=4
+        ),
+        preemption=mode,
+        swap_capacity_tokens=4096 if mode == "swap" else None,
+        prefix_cache=prefix_cache,
+        faults=plan,
+    )
+    if isinstance(split, tuple):
+        world_p, world_d = split
+        engine = ContextParallelEngine(
+            MODEL, world_size=world_p, capacity_tokens=capacity
+        )
+        decode_engine = ContextParallelEngine(
+            MODEL, world_size=world_d, capacity_tokens=capacity
+        )
+        return ContinuousBatchingRuntime(engine, decode_engine=decode_engine, **kwargs)
+    engine = ContextParallelEngine(MODEL, world_size=split, capacity_tokens=capacity)
+    return ContinuousBatchingRuntime(engine, **kwargs)
+
+
+def _check_run(runtime, scripts, think, replay_world):
+    """Drain + exactness-of-completed + leak audit for one faulted run."""
+    rids = submit_scripts_to_runtime(runtime, scripts, think_time_s=think)
+    report = runtime.run(max_steps=200_000)
+
+    # 1. the run drained: every request reached a terminal state
+    for rec in report.records.values():
+        assert rec.status is not None, (
+            f"request {rec.request_id} wedged in {rec.state} "
+            f"(faults={runtime.faults.describe()})"
+        )
+
+    # 2. completed requests streamed bit-identical tokens
+    reference = replay_scripts_sequential(lambda: fresh_engine(replay_world), scripts)
+    for script in scripts:
+        for i, rid in enumerate(rids[script.seq_id]):
+            rec = report.records[rid]
+            if rec.state is RequestState.FINISHED:
+                assert report.generated(rid) == reference[script.seq_id][i], (
+                    f"completed seq {script.seq_id} turn {i} diverged "
+                    f"(faults={runtime.faults.describe()}, "
+                    f"transfer faults={report.metrics.transfer_faults}, "
+                    f"swap losses={report.metrics.swap_losses}, "
+                    f"resets={report.metrics.pool_resets})"
+                )
+            else:
+                # a shed chain sheds its whole tail: no later turn of
+                # the conversation may have completed after it
+                later = [report.records[r] for r in rids[script.seq_id][i + 1 :]]
+                assert all(
+                    rec2.state is not RequestState.FINISHED for rec2 in later
+                ), f"seq {script.seq_id} finished a turn after turn {i} was shed"
+
+    # 3. nothing leaked: KV, allocator blocks, radix anchors, pins
+    engines = [runtime.engine]
+    if runtime.disaggregated:
+        engines.append(runtime.decode_engine)
+    for engine in engines:
+        leaks = engine.kv_leak_report()
+        assert not leaks, (
+            f"KV state leaked after drain (faults={runtime.faults.describe()}): {leaks}"
+        )
+    # the host-side swap store drained with the requests
+    for pool, store in runtime._swap_store.items():
+        assert not store, f"swap store for {pool} still holds {sorted(store)}"
+    return report
+
+
+class TestFaultScheduleExactness:
+    @given(fault_case(), st.sampled_from([1, 2, 3]))
+    @settings(**SETTINGS)
+    def test_colocated_faulted_runs_stay_exact(self, case, world):
+        """Any fault schedule over a colocated runtime: drains, completed
+        requests bit-identical to sequential replay, leak-free."""
+        scripts, chunk, capacity, think, mode, prefix_cache, plan = case
+        runtime = _build(scripts, chunk, capacity, mode, prefix_cache, plan, world)
+        _check_run(runtime, scripts, think, world)
+
+    @given(fault_case(), st.sampled_from([(1, 2), (2, 1), (2, 2)]))
+    @settings(**SETTINGS)
+    def test_disaggregated_faulted_runs_stay_exact(self, case, split):
+        """Any fault schedule over any prefill/decode split — transfer
+        deaths mid-wire, resets of either pool — same three guarantees."""
+        scripts, chunk, capacity, think, mode, prefix_cache, plan = case
+        runtime = _build(scripts, chunk, capacity, mode, prefix_cache, plan, split)
+        _check_run(runtime, scripts, think, split[0])
+
+    @given(fault_case())
+    @settings(**SETTINGS)
+    def test_same_fault_seed_reproduces_the_run(self, case):
+        """One seed pins the whole faulted run: outcome map, token
+        streams, fault counts, and makespan all replay identically."""
+        scripts, chunk, capacity, think, mode, prefix_cache, plan = case
+
+        def signature():
+            runtime = _build(
+                scripts, chunk, capacity, mode, prefix_cache, plan, (2, 2)
+            )
+            rids = submit_scripts_to_runtime(runtime, scripts, think_time_s=think)
+            report = runtime.run(max_steps=200_000)
+            streams = {
+                rid: report.generated(rid)
+                for turn_rids in rids.values()
+                for rid in turn_rids
+            }
+            m = report.metrics
+            return (
+                report.statuses(),
+                streams,
+                m.transfer_faults,
+                m.swap_losses,
+                m.pool_resets,
+                m.timeouts,
+                m.sheds,
+                report.makespan,
+            )
+
+        assert signature() == signature()
+
+
+class TestFaultBudgetsDrain:
+    def test_max_rate_transfer_faults_still_drain(self):
+        """transfer_fail_rate=1.0: every landing dies until the budget is
+        spent, then the re-prefill fallback completes every request."""
+        gen = WorkloadGenerator(VOCAB, seed=3)
+        scripts = [gen.conversation(sid, turns=2, first_prompt=30) for sid in range(2)]
+        plan = FaultPlan(seed=1, transfer_fail_rate=1.0, max_transfer_retries=2,
+                         backoff_base_s=0.25)
+        runtime = _build(scripts, 16, None, "recompute", False, plan, (2, 2))
+        report = _check_run(runtime, scripts, 0.0, 2)
+        assert report.statuses() == {"finished": 4}
+        m = report.metrics
+        # per request: `retries` retried faults + 1 fault that degrades
+        assert m.transfer_faults > m.fault_retries
+        assert m.degraded_fallbacks >= 1
+
+    def test_max_rate_swap_losses_still_drain(self):
+        """swap_loss_rate=1.0 under heavy swap pressure: every swap-in is
+        lost until the per-request budget caps it, then recompute wins."""
+        gen = WorkloadGenerator(VOCAB, seed=5)
+        scripts = [gen.conversation(sid, turns=2, first_prompt=40) for sid in range(4)]
+        plan = FaultPlan(seed=2, swap_loss_rate=1.0)
+        runtime = _build(scripts, 16, 96, "swap", False, plan, 2)
+        report = _check_run(runtime, scripts, 0.0, 2)
+        assert report.statuses() == {"finished": 8}
+        if report.metrics.swaps_out:
+            assert report.metrics.swap_losses >= 1
+            assert report.metrics.degraded_fallbacks >= report.metrics.swap_losses
+
+    @pytest.mark.parametrize("pool_resets", [1, 3])
+    def test_pool_reset_storms_still_drain(self, pool_resets):
+        """Every scheduled whole-pool reset fires, every holder requeues,
+        and the run still completes every request bit-exactly."""
+        gen = WorkloadGenerator(VOCAB, seed=9)
+        scripts = [gen.conversation(sid, turns=2, first_prompt=30) for sid in range(3)]
+        plan = FaultPlan(seed=4, pool_resets=pool_resets, pool_reset_window=10)
+        runtime = _build(scripts, 16, None, "recompute", True, plan, (2, 2))
+        report = _check_run(runtime, scripts, 0.0, 2)
+        assert report.statuses() == {"finished": 6}
+        assert report.metrics.pool_resets == pool_resets

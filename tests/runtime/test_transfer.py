@@ -213,6 +213,68 @@ class TestKVTransferStream:
         s.extend(t, 4, now=1.0)
         assert t.refused is False
 
+    def test_repeated_refuse_extend_cancel_cycle_refunds_exactly(self):
+        """Regression for the refund accounting under the full admission
+        grind: a payload refused at landing, reshipped by ``extend``
+        (re-arming ``refused`` each cycle), refused again, reshipped
+        again, then cancelled mid-stream. The refund must cover only the
+        un-streamed tail of the *last* segment — every earlier segment
+        was physically streamed and stays sunk, and the idle gaps
+        between wire re-entries never count as refundable."""
+        s = self.make(cost=2.0)
+        t = s.schedule(0, 1, 8, now=0.0)          # seg [0, 2)
+        t.refused = True                          # decode pool refuses at 2.0
+        s.extend(t, 4, now=3.0)                   # seg [3, 5)
+        assert t.refused is False                 # re-armed: new admission decision
+        t.refused = True                          # refused again at 5.0
+        s.extend(t, 4, now=6.0)                   # seg [6, 8)
+        assert t.refused is False
+        assert t.wire_s == pytest.approx(6.0)
+        assert t.segments == [(0.0, 2.0), (3.0, 5.0), (6.0, 8.0)]
+
+        cancelled = s.cancel(0, now=7.0)          # mid-third-segment
+        assert cancelled.refunded_s == pytest.approx(1.0)   # only [7, 8)
+        assert cancelled.sunk_s == pytest.approx(5.0)       # all streamed seconds
+        assert s.busy_s == pytest.approx(5.0)
+        # the wire frees at the cancel instant, not the phantom finish
+        assert s.schedule(1, 2, 8, now=6.0).start == pytest.approx(7.0)
+
+    def test_refuse_extend_cycle_cancelled_at_landing_sinks_all(self):
+        """The injected-fault path: a transfer that dies *at landing
+        time* — after any number of refuse/extend cycles — has streamed
+        every reserved second, so the cancel refunds nothing and the
+        whole wire cost is sunk (what the fault metrics charge)."""
+        s = self.make(cost=2.0)
+        t = s.schedule(0, 1, 8, now=0.0)          # seg [0, 2)
+        t.refused = True
+        s.extend(t, 4, now=4.0)                   # seg [4, 6)
+        cancelled = s.cancel(0, now=6.0)          # dies exactly at landing
+        assert cancelled.refunded_s == 0.0
+        assert cancelled.sunk_s == pytest.approx(4.0)
+        assert s.busy_s == pytest.approx(4.0)
+        # the retry reschedule (fault path) is a fresh transfer and may
+        # start immediately: the dead payload holds no future reservation
+        retry = s.schedule(0, 1, 12, now=6.5)
+        assert retry.start == pytest.approx(6.5)
+
+    def test_refuse_extend_cancel_cycles_with_queued_successor(self):
+        """Refunds from a cancelled refuse/extend grind re-pack queued
+        successors without ever handing them wire time that was spent."""
+        s = self.make(cost=2.0)
+        t = s.schedule(0, 1, 8, now=0.0)          # seg [0, 2)
+        t.refused = True
+        s.extend(t, 4, now=3.0)                   # seg [3, 5)
+        queued = s.schedule(1, 2, 8, now=3.5)     # queued [5, 7)
+        cancelled = s.cancel(0, now=4.0)          # mid-second-segment
+        assert cancelled.refunded_s == pytest.approx(1.0)   # only [4, 5)
+        assert cancelled.sunk_s == pytest.approx(3.0)
+        # the successor slides into the freed tail, never before its
+        # own request nor into streamed wire time
+        assert queued.start == pytest.approx(4.0)
+        assert queued.finish == pytest.approx(6.0)
+        assert s.busy_s == pytest.approx(5.0)
+        assert s.busy_until == pytest.approx(6.0)
+
 
 class TestCancelRefundProperty:
     """A transfer cancelled before it starts must be invisible: every
