@@ -301,3 +301,56 @@ def bench_prefix_reuse(benchmark):
     benchmark.extra_info["reused_tokens"] = m.prefix_reused_tokens
     benchmark.extra_info["prefill_rounds_cached"] = reports[True].prefill_rounds
     benchmark.extra_info["prefill_rounds_cold"] = reports[False].prefill_rounds
+
+
+def bench_cluster_routing(benchmark):
+    """One shared-prefix trace fanned over a 3-replica fleet under
+    prefix-affinity and round-robin routing, back to back, bit-checked
+    against each other.
+
+    Wall time covers both fleet runs (routing, per-replica engines,
+    merged reporting); ``extra_info`` records each policy's fleet hit
+    rate and placement spread so the JSON shows what affinity bought."""
+    from repro.cluster import ReplicaFleet, make_router
+    from repro.runtime import ContinuousBatchingRuntime
+    from repro.serving.scheduler import ChunkedPrefillPolicy
+    from repro.workloads.generator import WorkloadGenerator
+    from repro.workloads.replay import collect_generated, submit_scripts_to_runtime
+
+    model = LlamaModel(tiny_config(), seed=0)
+    gen = WorkloadGenerator(model.config.vocab_size, seed=11)
+    scripts = gen.shared_prefix_traffic(
+        n_system_prompts=2, n_fewshot_variants=2, conversations=9,
+        system_tokens=32, fewshot_tokens=12, unique_range=(6, 12),
+        turns=2, followup_range=(6, 12), response_range=(3, 5),
+    )
+    scripts = [scripts[i] for i in gen.rng.permutation(len(scripts))]
+
+    def make_runtime(_replica_id):
+        return ContinuousBatchingRuntime(
+            ContextParallelEngine(model, world_size=2),
+            policy=ChunkedPrefillPolicy(
+                chunk_tokens=16, max_tokens_per_round=32, max_seqs_per_round=4
+            ),
+            prefix_cache=True,
+        )
+
+    def run():
+        out = {}
+        for policy in ("prefix", "round-robin"):
+            fleet = ReplicaFleet.build(make_runtime, 3, router=make_router(policy))
+            rids = submit_scripts_to_runtime(fleet, scripts, think_time_s=2.0)
+            out[policy] = (fleet.run(max_steps=200_000), rids)
+        return out
+
+    out = benchmark(run)
+    tokens = {p: collect_generated(report, rids) for p, (report, rids) in out.items()}
+    assert tokens["prefix"] == tokens["round-robin"]
+    for policy, (report, _rids) in out.items():
+        key = policy.replace("-", "_")
+        benchmark.extra_info[f"{key}_hit_rate"] = round(
+            report.metrics.prefix_hit_rate, 3
+        )
+        benchmark.extra_info[f"{key}_replicas_used"] = len(
+            set(report.placements.values())
+        )

@@ -27,10 +27,16 @@ Commands:
   (``transfer=0.2,swap=0.2,pool_reset=1,deadline=30,queue=16`` — see
   :meth:`repro.runtime.faults.FaultPlan.parse`), seeded by
   ``--fault-seed`` (default: ``--seed``, so one seed reproduces both
-  the workload and the fault schedule); ``--verify`` bit-checks every
+  the workload and the fault schedule); ``--replicas N`` serves the
+  trace through a cluster-tier fleet of N independent replicas (each
+  with the chosen deployment shape) behind ``--routing
+  {prefix,round-robin,least-loaded}`` — prefix-affinity routing places
+  each conversation on the replica whose radix index holds its longest
+  cached prefix, balanced against load and queue depth, with session
+  stickiness for follow-up turns; ``--verify`` bit-checks every
   decoded token against sequential per-conversation replay (under
   faults, every *completed* request — shed and timed-out requests
-  claim nothing).
+  claim nothing; routing never changes token values).
 """
 
 from __future__ import annotations
@@ -44,6 +50,7 @@ import numpy as np
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments import (
         capacity_scaling,
+        cluster_routing,
         disagg_runtime,
         disaggregation,
         fault_tolerance,
@@ -65,6 +72,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     results.append(preemption_modes.run())
     results.append(prefix_reuse.run())
     results.append(fault_tolerance.run())
+    results.append(cluster_routing.run())
     if not args.fast:
         results.append(serving_load.run())
     for res in results:
@@ -246,33 +254,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     elif args.fault_seed is not None:
         print("error: --fault-seed only applies with --faults", file=sys.stderr)
         return 2
+    if args.replicas < 1:
+        print(f"error: --replicas must be >= 1, got {args.replicas}", file=sys.stderr)
+        return 2
+    if args.routing is not None and args.replicas == 1:
+        print(
+            "error: --routing only applies with --replicas > 1 "
+            "(a single replica has nothing to route)",
+            file=sys.stderr,
+        )
+        return 2
     world = args.world if args.world is not None else 2
 
-    policy = ChunkedPrefillPolicy(
-        chunk_tokens=args.chunk,
-        max_tokens_per_round=args.round_budget,
-        max_seqs_per_round=8,
-        order=args.policy,
-    )
     remedy = dict(
         preemption=args.preemption,
         swap_capacity_tokens=args.swap_capacity,
         prefix_cache=args.prefix_cache,
         faults=faults,
     )
-    if pools is None:
-        engine = ContextParallelEngine(
-            model, world_size=world, capacity_tokens=args.capacity
+
+    # fresh policy/clock/engines per replica: replicas share model
+    # weights (read-only) but never scheduler or clock state
+    def make_runtime():
+        policy = ChunkedPrefillPolicy(
+            chunk_tokens=args.chunk,
+            max_tokens_per_round=args.round_budget,
+            max_seqs_per_round=8,
+            order=args.policy,
         )
-        runtime = ContinuousBatchingRuntime(
-            engine,
-            policy=policy,
-            clock=SimulatedStepClock(sim, n_ranks=args.priced_ranks),
-            **remedy,
+        if pools is None:
+            engine = ContextParallelEngine(
+                model, world_size=world, capacity_tokens=args.capacity
+            )
+            return ContinuousBatchingRuntime(
+                engine,
+                policy=policy,
+                clock=SimulatedStepClock(sim, n_ranks=args.priced_ranks),
+                **remedy,
+            )
+        decode_cap = (
+            args.decode_capacity if args.decode_capacity is not None else args.capacity
         )
-        deploy = f"CP{world}"
-    else:
-        decode_cap = args.decode_capacity if args.decode_capacity is not None else args.capacity
         engine = ContextParallelEngine(
             model, world_size=pools[0], capacity_tokens=args.capacity
         )
@@ -280,14 +302,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             model, world_size=pools[1], capacity_tokens=decode_cap
         )
         # a dedicated decode pool streams at single-host TP TTIT (§4.3)
-        runtime = ContinuousBatchingRuntime(
+        return ContinuousBatchingRuntime(
             engine,
             decode_engine=decode_engine,
             policy=policy,
             clock=SimulatedStepClock(sim, n_ranks=args.priced_ranks, tp_decode=True),
             **remedy,
         )
-        deploy = f"CP{pools[0]} prefill -> CP{pools[1]} decode"
+
+    deploy = (
+        f"CP{world}"
+        if pools is None
+        else f"CP{pools[0]} prefill -> CP{pools[1]} decode"
+    )
+    fleet = None
+    if args.replicas == 1:
+        # the bare-runtime path, untouched: a 1-replica fleet's output is
+        # byte-identical to this (the metamorphic property), so keep the
+        # simple object when there is nothing to route
+        runtime = make_runtime()
+    else:
+        from repro.cluster import ReplicaFleet, make_router
+
+        routing = args.routing if args.routing is not None else "prefix"
+        fleet = ReplicaFleet.build(
+            lambda i: make_runtime(), args.replicas, router=make_router(routing)
+        )
+        runtime = fleet
+        deploy = f"{args.replicas} x {deploy} ({routing} routing)"
     rids = submit_scripts_to_runtime(runtime, scripts)
     report = runtime.run(max_steps=1_000_000)
 
@@ -312,7 +354,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"rounds: {report.prefill_rounds} prefill, {report.decode_rounds} decode")
     print(f"makespan: {report.makespan:.1f}s simulated, "
           f"{report.tokens_per_second():.2f} decoded tok/s")
-    if pools is not None:
+    if fleet is not None:
+        placed = report.placements
+        spread = ", ".join(
+            f"replica {rid}: {sum(1 for r in placed.values() if r == rid)} sessions"
+            for rid in sorted(report.replica_reports)
+        )
+        print(f"placements: {spread}")
+        leaks = fleet.kv_leak_reports()
+        clean = all(not v for v in leaks.values())
+        print(f"post-drain KV audit: {'clean' if clean else leaks}")
+    elif pools is not None:
         util = report.pool_utilization()
         print(
             "pool utilization: "
@@ -447,6 +499,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=None,
         help="seed of the fault schedule (default: --seed, so one seed "
              "reproduces workload and faults together; only with --faults)",
+    )
+    p_serve.add_argument(
+        "--replicas", type=int, default=1,
+        help="serve through a cluster-tier fleet of N independent replicas "
+             "(each with the deployment shape the other flags pick); 1 "
+             "(default) keeps the bare single runtime",
+    )
+    p_serve.add_argument(
+        "--routing", choices=["prefix", "round-robin", "least-loaded"],
+        default=None,
+        help="fleet routing policy for new conversations (only with "
+             "--replicas > 1; default prefix): prefix-affinity scores "
+             "replicas by cached-prefix match minus load and queue depth, "
+             "round-robin cycles, least-loaded picks the fewest queued "
+             "prefill tokens; follow-up turns always stick to their "
+             "conversation's replica",
     )
     p_serve.add_argument("--chunk", type=int, default=16, help="prefill chunk tokens")
     p_serve.add_argument("--round-budget", type=int, default=32,

@@ -1,0 +1,166 @@
+"""Routing policies for the multi-replica fleet.
+
+A router answers one question: *which replica serves this new
+conversation?* Every policy here is deterministic — same construction,
+same submission order, same replica states ⇒ the same placements — so a
+routed run is as replayable as a single-runtime one, and the fleet's
+serving-exactness property can quantify over policies the way the
+runtime's quantifies over remedies.
+
+Policies (CLI names in parentheses):
+
+- :class:`RoundRobinRouter` (``round-robin``): cycle over non-draining
+  replicas in id order. The classic load-spreading baseline — and the
+  baseline prefix-affinity routing must beat on warm TTFT and hit rate
+  for shared-prefix traffic (the cluster-routing experiment's claim).
+- :class:`LeastLoadedRouter` (``least-loaded``): fewest queued prefill
+  tokens; ties broken by least cumulative busy time, then lowest id.
+- :class:`PrefixAffinityRouter` (``prefix``): the SGLang
+  cache-aware-routing / Mooncake global-scheduler design. Each replica
+  is scored by how much of the conversation's first prompt its radix
+  prefix index already holds, discounted by load and queue depth::
+
+      score(r) = matched(r)
+                 - load_weight  * (queued_tokens(r) + busy_time(r))
+                 - queue_weight * queue_depth(r)
+
+  ``matched(r)`` is the longer of (a) the replica's *live* radix-index
+  match (:meth:`ContinuousBatchingRuntime.prefix_match_len`) and (b) the
+  router's own *shadow* estimate — a per-replica
+  :class:`repro.kvcache.prefix_index.PrefixIndex` over the prompts it
+  already placed there. The shadow is what makes affinity work for
+  traffic submitted before any replica has run a round (the common
+  simulated case) and mirrors how production routers approximate remote
+  cache state instead of querying it synchronously. ``queued_tokens``
+  (prefill tokens) and ``busy_time`` (simulated busy seconds) are summed
+  as abstract work units: all replicas share one clock model, so the
+  comparison is fair even though the units differ.
+
+Tie-break, pinned by ``tests/cluster/test_router.py``: every policy
+resolves equal choices toward the **lowest replica id** (round-robin's
+"tie" is its cursor start, which begins at id order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kvcache.prefix_index import PrefixIndex
+
+#: CLI / config names of the built-in policies.
+ROUTING_POLICIES = ("prefix", "round-robin", "least-loaded")
+
+
+class Router:
+    """Interface a fleet routing policy implements.
+
+    ``place`` only ever sees replicas that accept new conversations
+    (the fleet filters draining ones); ``placed`` is the notification
+    hook the fleet calls with the winner so stateful policies (shadow
+    indexes, cursors) can update.
+    """
+
+    name: str = "base"
+
+    def place(self, tokens: np.ndarray, replicas: list) -> object:
+        """Pick one of ``replicas`` for a conversation opening with
+        ``tokens``. Must be deterministic in (tokens, replica states)."""
+        raise NotImplementedError
+
+    def placed(self, replica, tokens: np.ndarray) -> None:
+        """Record that the fleet placed ``tokens`` on ``replica``."""
+
+    def forget(self, replica) -> None:
+        """Drop any per-replica routing state (replica removed)."""
+
+
+class RoundRobinRouter(Router):
+    """Cycle over eligible replicas in id order, ignoring all state."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._cursor = 0
+
+    def place(self, tokens, replicas):
+        choice = replicas[self._cursor % len(replicas)]
+        self._cursor += 1
+        return choice
+
+
+class LeastLoadedRouter(Router):
+    """Fewest queued prefill tokens; ties: least busy time, lowest id."""
+
+    name = "least-loaded"
+
+    def place(self, tokens, replicas):
+        return min(
+            replicas, key=lambda r: (r.queued_tokens(), r.busy_time(), r.id)
+        )
+
+
+class PrefixAffinityRouter(Router):
+    """Score replicas by prefix-cache affinity, balanced against load.
+
+    Args:
+        load_weight: tokens of match length a unit of load (queued
+            prefill tokens + simulated busy seconds) cancels.
+        queue_weight: tokens of match length one queued request cancels
+            (queue depth is the coarser, faster-moving congestion
+            signal, so it is weighted harder than raw tokens).
+    """
+
+    name = "prefix"
+
+    def __init__(self, *, load_weight: float = 0.25, queue_weight: float = 4.0):
+        if load_weight < 0 or queue_weight < 0:
+            raise ValueError("router weights must be >= 0")
+        self.load_weight = load_weight
+        self.queue_weight = queue_weight
+        self._shadow: dict[int, PrefixIndex] = {}
+        self._inserts = 0
+
+    def match_len(self, replica, tokens) -> int:
+        """Best-known resident prefix length of ``tokens`` on ``replica``
+        (max of the live radix index and the router's shadow)."""
+        live = replica.match_len(tokens)
+        shadow = self._shadow.get(replica.id)
+        if shadow is None:
+            return live
+        return max(live, shadow.match(tokens)[0])
+
+    def score(self, replica, tokens) -> float:
+        """The documented affinity-minus-load score (higher is better)."""
+        return (
+            self.match_len(replica, tokens)
+            - self.load_weight * (replica.queued_tokens() + replica.busy_time())
+            - self.queue_weight * replica.queue_depth()
+        )
+
+    def place(self, tokens, replicas):
+        # max score; ties toward the lowest replica id
+        return max(replicas, key=lambda r: (self.score(r, tokens), -r.id))
+
+    def placed(self, replica, tokens) -> None:
+        shadow = self._shadow.setdefault(replica.id, PrefixIndex())
+        # each placement anchors under a fresh synthetic id: the shadow
+        # only ever answers "how many of these tokens has this replica
+        # seen", so holders never need to track eviction
+        self._inserts += 1
+        shadow.insert(self._inserts, np.asarray(tokens, dtype=np.int64))
+
+    def forget(self, replica) -> None:
+        self._shadow.pop(replica.id, None)
+
+
+def make_router(policy: str) -> Router:
+    """Build a router from its CLI name (see :data:`ROUTING_POLICIES`)."""
+    if policy == "prefix":
+        return PrefixAffinityRouter()
+    if policy == "round-robin":
+        return RoundRobinRouter()
+    if policy == "least-loaded":
+        return LeastLoadedRouter()
+    raise ValueError(
+        f"unknown routing policy {policy!r}; expected one of {ROUTING_POLICIES}"
+    )

@@ -29,6 +29,8 @@ Index (paper -> module):
   :mod:`repro.experiments.prefix_reuse`
 - fault injection & graceful degradation (fault rate x recovery policy,
   goodput/completion rate) -> :mod:`repro.experiments.fault_tolerance`
+- cluster-tier routing (replica count x policy, prefix-affinity vs
+  round-robin) -> :mod:`repro.experiments.cluster_routing`
 """
 
 from repro.experiments.base import ExperimentResult

@@ -1,0 +1,211 @@
+"""Extension experiment: cluster-tier routing (replicas x policy).
+
+One replica cannot serve "millions of users"; a fleet can — but only if
+the router sends templated traffic where its KV already lives. This
+experiment replays the same shared-prefix trace through
+:class:`repro.cluster.ReplicaFleet` at a sweep of replica counts under
+prefix-affinity routing vs round-robin, with every replica's rounds
+priced for Llama3 405B by the calibrated clock.
+
+What the table shows:
+
+- **hit rate**: round-robin spreads a template across every replica, so
+  each replica pays its own cold prefill per template (hit rate decays
+  as ``1 - R*N/conversations``); prefix-affinity concentrates each
+  template on one replica and keeps the single-replica hit rate
+  (``1 - N/conversations``) at any fleet size — the SGLang
+  cache-aware-routing / Mooncake global-scheduler claim.
+- **warm p50 TTFT**: affinity converts cold prefills into warm ones, so
+  under load the median first token lands earlier even though routing
+  concentrates work on fewer replicas.
+- **placement spread**: how many replicas each policy actually used —
+  affinity trades spread for reuse; the load/queue terms in its score
+  keep the trade bounded.
+
+Every cell is pinned twice: completed streams bit-identical to
+sequential per-conversation replay (routing changes placement and
+timing, never tokens), and every replica audits leak-free after the
+drain. At every replica count >= 2, prefix routing must beat
+round-robin on both warm p50 TTFT and prefix hit rate (asserted).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.base import ExperimentResult
+from repro.model.config import llama3_405b_config, tiny_config
+from repro.perf.hardware import HostSpec, gtt_host
+from repro.perf.latency import LatencySimulator
+
+#: Routing policies compared, in sweep order.
+POLICIES = ("prefix", "round-robin")
+
+
+def run(
+    host: HostSpec | None = None,
+    *,
+    conversations: int = 12,
+    n_templates: int = 2,
+    replica_sweep: tuple[int, ...] = (1, 2, 3),
+    world_size: int = 2,
+    priced_ranks: int = 4,
+    seed: int = 11,
+) -> ExperimentResult:
+    """Replica count x routing policy for shared-prefix traffic.
+
+    Numerics run the tiny model on CP ``world_size`` per replica; the
+    step clock prices rounds for Llama3 405B on ``priced_ranks`` CP
+    hosts. Conversations arrive in a tight burst (1 s apart, 5 s think
+    time) so routing decides queueing, not just cache reuse. ``n_templates`` system
+    prompts fan out over ``conversations`` two-turn sessions.
+
+    Raises:
+        AssertionError: a completed stream differs from sequential
+            replay, a replica leaks KV after the drain, or prefix
+            routing fails to beat round-robin on warm p50 TTFT or hit
+            rate at a replica count >= 2.
+    """
+    from repro.cluster import ReplicaFleet, make_router
+    from repro.core.engine import ContextParallelEngine
+    from repro.model.llama import LlamaModel
+    from repro.runtime import ContinuousBatchingRuntime, SimulatedStepClock
+    from repro.serving.scheduler import ChunkedPrefillPolicy
+    from repro.workloads.generator import WorkloadGenerator
+    from repro.workloads.replay import (
+        collect_generated,
+        replay_scripts_sequential,
+        submit_scripts_to_runtime,
+    )
+
+    host = host if host is not None else gtt_host()
+    model = LlamaModel(tiny_config(), seed=0)
+    sim = LatencySimulator(llama3_405b_config(), host)
+
+    res = ExperimentResult(
+        experiment_id="Cluster routing",
+        title=(
+            f"{conversations} shared-prefix conversations "
+            f"({n_templates} templates) over a replica fleet "
+            f"(CP{world_size} numerics per replica, CP{priced_ranks} 405B "
+            f"pricing)"
+        ),
+        headers=[
+            "replicas", "routing", "hit rate", "reused tokens",
+            "p50 TTFT warm (s)", "p50 TTFT cold (s)", "p50 TTFT (s)",
+            "goodput (req/s)", "replicas used",
+        ],
+    )
+
+    gen = WorkloadGenerator(model.config.vocab_size, seed=seed)
+    scripts = gen.shared_prefix_traffic(
+        n_system_prompts=n_templates,
+        n_fewshot_variants=2,
+        conversations=conversations,
+        system_tokens=48,
+        fewshot_tokens=16,
+        unique_range=(8, 16),
+        turns=2,
+        followup_range=(6, 12),
+        response_range=(3, 5),
+    )
+    # seeded arrival shuffle: shared_prefix_traffic cycles templates
+    # round-robin, so without it a round-robin router whose replica
+    # count divides the template count would align with the cycle and
+    # get perfect affinity by accident
+    scripts = [scripts[i] for i in gen.rng.permutation(len(scripts))]
+    reference = replay_scripts_sequential(
+        lambda: ContextParallelEngine(
+            LlamaModel(tiny_config(), seed=0), world_size=world_size
+        ),
+        scripts,
+    )
+
+    def make_runtime(_replica_id: int) -> ContinuousBatchingRuntime:
+        return ContinuousBatchingRuntime(
+            ContextParallelEngine(model, world_size=world_size),
+            policy=ChunkedPrefillPolicy(
+                chunk_tokens=16, max_tokens_per_round=32, max_seqs_per_round=4
+            ),
+            clock=SimulatedStepClock(sim, n_ranks=priced_ranks),
+            prefix_cache=True,
+        )
+
+    cells: dict[tuple[int, str], object] = {}
+    for replicas in replica_sweep:
+        for policy in POLICIES:
+            fleet = ReplicaFleet.build(
+                make_runtime, replicas, router=make_router(policy)
+            )
+            rids = submit_scripts_to_runtime(
+                fleet, scripts, start_offset_s=1.0, think_time_s=5.0
+            )
+            report = fleet.run(max_steps=400_000)
+
+            # exactness: routing never changes a completed stream
+            got = collect_generated(report, rids)
+            for s in scripts:
+                assert got[s.seq_id] == reference[s.seq_id], (
+                    "serving-level exactness violated: routing "
+                    f"({policy}, {replicas} replicas) changed decoded "
+                    f"tokens for seq {s.seq_id}"
+                )
+            # leak audit: every replica drained clean
+            for rid_, leaks in fleet.kv_leak_reports().items():
+                assert not leaks, (
+                    f"replica {rid_} leaked KV after drain "
+                    f"({policy}, {replicas} replicas): {leaks}"
+                )
+
+            m = report.metrics
+            used = len(set(report.placements.values()))
+            cells[(replicas, policy)] = m
+            res.add_row(
+                replicas,
+                policy,
+                m.prefix_hit_rate,
+                sum(r.prefix_reused_tokens for r in m.replicas.values()),
+                m.percentile_ttft_split(50, warm=True),
+                m.percentile_ttft_split(50, warm=False),
+                m.percentile_ttft(50),
+                m.fleet_goodput(report.makespan),
+                f"{used}/{replicas}",
+            )
+
+    # the headline: at any fleet size >= 2, affinity beats round-robin
+    # on both reuse and the median warm first token
+    for replicas in replica_sweep:
+        if replicas < 2:
+            continue
+        m_prefix = cells[(replicas, "prefix")]
+        m_rr = cells[(replicas, "round-robin")]
+        assert m_prefix.prefix_hit_rate > m_rr.prefix_hit_rate, (
+            f"prefix routing hit rate {m_prefix.prefix_hit_rate:.0%} not "
+            f"above round-robin {m_rr.prefix_hit_rate:.0%} at "
+            f"{replicas} replicas"
+        )
+        warm_prefix = m_prefix.percentile_ttft_split(50, warm=True)
+        warm_rr = m_rr.percentile_ttft_split(50, warm=True)
+        if math.isnan(warm_rr):
+            # round-robin produced no warm request at all — compare
+            # against its overall median instead of vacuously passing
+            warm_rr = m_rr.percentile_ttft(50)
+        assert warm_prefix < warm_rr, (
+            f"prefix routing warm p50 TTFT {warm_prefix:.3f}s not below "
+            f"round-robin {warm_rr:.3f}s at {replicas} replicas"
+        )
+
+    res.notes.append(
+        "Every cell decodes bit-identical tokens to sequential "
+        "per-conversation replay and every replica audits leak-free after "
+        "the drain (asserted): routing changes placement and timing, "
+        "never values."
+    )
+    res.notes.append(
+        "At every fleet size >= 2, prefix-affinity routing beats "
+        "round-robin on warm p50 TTFT and prefix hit rate (asserted): "
+        "round-robin re-pays each template's cold prefill once per "
+        "replica, affinity pays it once per fleet. At 1 replica the "
+        "policies coincide — there is nothing to route."
+    )
+    return res

@@ -1232,7 +1232,18 @@ class ContinuousBatchingRuntime:
             + [int(t) for t in committed_generated],
             dtype=np.int64,
         )
-        rec.prefill_done = self.engine.context_length(rec.seq_id)
+        resident = self.engine.context_length(rec.seq_id)
+        if resident >= rec.pending_input.size:
+            # a decode-side loss can preempt a request whose prefill-pool
+            # copy was retained in full as a prefix-cache donor: the
+            # resident prefix then covers the whole re-prefill input, and
+            # a zero-token entry would starve in the FIFO (no chunk ever
+            # schedules it). Trim the copy to leave one token so the
+            # resume round runs a real finishing chunk and produces the
+            # logits the completion path expects.
+            resident = int(rec.pending_input.size) - 1
+            self.engine.evict_tail(rec.seq_id, resident)
+        rec.prefill_done = resident
         requeue = (
             rec.state in (RequestState.DECODE, RequestState.KV_TRANSFER, RequestState.SWAPPED)
             or not self._in_prefill_queue(rec)
@@ -1642,3 +1653,68 @@ class ContinuousBatchingRuntime:
         for rec in self._records.values():
             counts[rec.state.value] = counts.get(rec.state.value, 0) + 1
         return counts
+
+    # ------------------------------------------------------------------ #
+    # scheduler-facing interface (cluster tier)
+    # ------------------------------------------------------------------ #
+    # A fleet router places conversations by comparing replicas through
+    # exactly these read-only views — they must stay cheap (O(queued))
+    # and side-effect free so routing never perturbs the run it observes.
+
+    def live_requests(self) -> int:
+        """Submitted requests not yet terminal."""
+        return len(self._live)
+
+    def queue_depth(self) -> int:
+        """Requests waiting for an engine round: conversations queued
+        ahead of their arrival/predecessor plus the prefill FIFO."""
+        return len(self._prefill_queue) + len(self._waiting)
+
+    def queued_tokens(self) -> int:
+        """Prefill tokens committed to but not yet executed.
+
+        Counts the uncommitted remainder of every request in the prefill
+        FIFO plus the first-turn prompts of conversations still waiting
+        to be admitted — a deliberate *approximation* of pending work
+        (later turns and decode budgets are invisible until they queue),
+        matching what a production router can actually observe.
+        """
+        tokens = sum(
+            self._records[rid].prefill_remaining for _, rid in self._prefill_queue
+        )
+        tokens += sum(
+            int(self._records[self._chains[seq_id][0]].request.prompt.size)
+            for seq_id in self._waiting
+        )
+        return tokens
+
+    def busy_time(self) -> float:
+        """Cumulative simulated busy seconds across this runtime's pools."""
+        return float(sum(self.metrics.pool_busy_s.values()))
+
+    def prefix_match_len(self, tokens) -> int:
+        """Longest resident cached prefix of ``tokens`` on the prefill
+        engine (0 when the prefix cache is disabled). Read-only — a
+        routing probe neither touches LRU order nor pins donors."""
+        if self.prefix_index is None:
+            return 0
+        return int(self.engine.match_prefix(tokens)[0])
+
+    def kv_leak_report(self) -> list[str]:
+        """Audit every pool's KV bookkeeping plus the swap store.
+
+        Concatenates the engines' :meth:`~repro.core.engine
+        .ContextParallelEngine.kv_leak_report` (both pools when
+        disaggregated) and flags host-store payloads that outlived the
+        drain. Empty list = clean — the per-replica audit the fleet's
+        drain contract requires.
+        """
+        leaks = list(self.engine.kv_leak_report())
+        if self.disaggregated:
+            leaks += self.decode_engine.kv_leak_report()
+        for pool, store in self._swap_store.items():
+            for seq_id in sorted(store):
+                leaks.append(
+                    f"swap store[{pool}]: seq {seq_id} still holds a host payload"
+                )
+        return leaks

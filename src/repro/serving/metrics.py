@@ -371,3 +371,139 @@ class ServingMetrics:
             )
             lines.append(f"peak KV occupancy: {peak}")
         return "\n".join(lines)
+
+
+@dataclass
+class FleetMetrics:
+    """Per-replica :class:`ServingMetrics` plus fleet-level rollups.
+
+    The scheduler-facing aggregate the cluster tier reports: each
+    replica keeps its own independent ``ServingMetrics`` instance (the
+    fleet never shares counter state between replicas), and this class
+    only *reads* them — per-replica hit-rate/goodput/utilization for
+    routing-quality analysis, concatenated TTFT populations for
+    fleet-level percentiles.
+
+    Attributes:
+        replicas: replica id -> that replica's own metrics instance.
+        makespans: replica id -> that replica's clock at report time
+            (denominator for its goodput/utilization).
+    """
+
+    replicas: dict[int, "ServingMetrics"] = field(default_factory=dict)
+    makespans: dict[int, float] = field(default_factory=dict)
+
+    def add_replica(
+        self, replica_id: int, metrics: "ServingMetrics", makespan: float
+    ) -> None:
+        if replica_id in self.replicas:
+            raise ValueError(f"replica {replica_id} already added")
+        self.replicas[replica_id] = metrics
+        self.makespans[replica_id] = float(makespan)
+
+    # -------------------------- per-replica views ------------------------ #
+
+    def hit_rate(self, replica_id: int) -> float:
+        """One replica's prefix-cache hit rate."""
+        return self.replicas[replica_id].prefix_hit_rate
+
+    def replica_goodput(self, replica_id: int) -> float:
+        """One replica's completed requests per simulated second."""
+        return self.replicas[replica_id].goodput(self.makespans[replica_id])
+
+    def utilization(self, replica_id: int) -> dict[str, float]:
+        """One replica's per-pool busy fractions over its own makespan."""
+        m = self.replicas[replica_id]
+        span = self.makespans[replica_id]
+        return {pool: m.pool_utilization(pool, span) for pool in sorted(m.pool_busy_s)}
+
+    # --------------------------- fleet rollups --------------------------- #
+
+    @property
+    def completed_requests(self) -> int:
+        return sum(m.completed_requests for m in self.replicas.values())
+
+    @property
+    def prefix_hits(self) -> int:
+        return sum(m.prefix_hits for m in self.replicas.values())
+
+    @property
+    def prefix_misses(self) -> int:
+        return sum(m.prefix_misses for m in self.replicas.values())
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fleet-wide prefix-cache hit rate (all lookups pooled)."""
+        total = self.prefix_hits + self.prefix_misses
+        return self.prefix_hits / total if total else 0.0
+
+    def _ttft_population(self, *, warm: bool | None = None) -> list[float]:
+        samples: list[float] = []
+        for rid in sorted(self.replicas):
+            m = self.replicas[rid]
+            if warm is None:
+                samples.extend(m.ttft_samples)
+            elif warm:
+                samples.extend(m.ttft_warm_samples)
+            else:
+                samples.extend(m.ttft_cold_samples)
+        return samples
+
+    def percentile_ttft(self, q: float) -> float:
+        """Fleet TTFT percentile over every replica's samples; ``nan``
+        when no replica has any."""
+        samples = self._ttft_population()
+        if not samples:
+            return float("nan")
+        return float(np.percentile(samples, q))
+
+    def percentile_ttft_split(self, q: float, *, warm: bool) -> float:
+        """Fleet warm/cold TTFT percentile; ``nan`` without samples."""
+        samples = self._ttft_population(warm=warm)
+        if not samples:
+            return float("nan")
+        return float(np.percentile(samples, q))
+
+    def fleet_goodput(self, makespan: float) -> float:
+        """Fleet-completed requests per simulated second of fleet time
+        (``makespan`` should be the latest replica clock)."""
+        if makespan <= 0:
+            return 0.0
+        return self.completed_requests / makespan
+
+    def summary(self) -> str:
+        lines = [f"replicas: {len(self.replicas)}"]
+        for rid in sorted(self.replicas):
+            m = self.replicas[rid]
+            span = self.makespans[rid]
+            util = self.utilization(rid)
+            util_s = (
+                ", ".join(f"{pool}: {frac:.1%}" for pool, frac in util.items())
+                or "idle"
+            )
+            lines.append(
+                f"  replica {rid}: {m.completed_requests} completed, "
+                f"goodput {self.replica_goodput(rid):.3f}/s, "
+                f"hit rate {m.prefix_hit_rate:.1%}, "
+                f"makespan {span:.3f}s, util {util_s}"
+            )
+        if self.prefix_hits or self.prefix_misses:
+            lines.append(
+                f"fleet prefix cache: {self.prefix_hits}/"
+                f"{self.prefix_hits + self.prefix_misses} hits "
+                f"({self.prefix_hit_rate:.1%})"
+            )
+        samples = self._ttft_population()
+        if samples:
+            line = (
+                f"fleet TTFT p50/p95: "
+                f"{self.percentile_ttft(50):.3f}/{self.percentile_ttft(95):.3f}s"
+            )
+            if self._ttft_population(warm=True) and self._ttft_population(warm=False):
+                line += (
+                    f"; p50 warm/cold: "
+                    f"{self.percentile_ttft_split(50, warm=True):.3f}/"
+                    f"{self.percentile_ttft_split(50, warm=False):.3f}s"
+                )
+            lines.append(line)
+        return "\n".join(lines)

@@ -69,7 +69,13 @@ def submit_scripts_to_runtime(
     finishes — the runtime enforces the chain).
 
     Args:
-        runtime: a :class:`repro.runtime.ContinuousBatchingRuntime`.
+        runtime: anything exposing the scheduler-facing submission
+            surface ``submit_script(script, *, arrival, think_time)`` —
+            a :class:`repro.runtime.ContinuousBatchingRuntime` or a
+            :class:`repro.cluster.ReplicaFleet` (the fleet routes each
+            conversation to a replica; this glue neither knows nor
+            cares, which is what keeps fleet runs comparable to
+            single-runtime runs via :func:`collect_generated`).
         scripts: the scripted conversations (unique seq_ids).
 
     Returns:
@@ -97,7 +103,9 @@ def collect_generated(report, rids: dict[int, list[int]]) -> dict[int, list[list
     vs sequential replay — are one dict comparison.
 
     Args:
-        report: a :class:`repro.runtime.RuntimeReport`.
+        report: a :class:`repro.runtime.RuntimeReport` or a
+            :class:`repro.cluster.FleetReport` (same ``generated``
+            surface; fleet request ids are globally unique).
         rids: ``{seq_id: [request_id per turn]}`` as returned by
             :func:`submit_scripts_to_runtime`.
     """

@@ -193,3 +193,37 @@ class TestFaultTolerance:
         n = len(fault_tolerance.MODES)
         for base, faulted in zip(makespans[:n], makespans[-n:]):
             assert faulted >= base
+
+
+class TestClusterRouting:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # two replica counts keep the fixture fast; the full sweep runs
+        # in `python -m repro experiments` (exactness, leak-freedom, and
+        # prefix-beats-round-robin are asserted inside run() per cell)
+        from repro.experiments import cluster_routing
+
+        return cluster_routing.run(replica_sweep=(1, 2))
+
+    def test_sweep_structure(self, result):
+        from repro.experiments import cluster_routing
+
+        assert result.column("replicas") == [1, 1, 2, 2]
+        assert result.column("routing") == list(cluster_routing.POLICIES) * 2
+
+    def test_single_replica_policies_identical(self, result):
+        """With one replica every router has one choice: the prefix and
+        round-robin rows must be byte-identical."""
+        assert result.rows[0][2:] == result.rows[1][2:]
+
+    def test_prefix_beats_round_robin_at_two_replicas(self, result):
+        rates = result.column("hit rate")
+        warm = result.column("p50 TTFT warm (s)")
+        assert rates[2] > rates[3]
+        assert warm[2] < warm[3]
+
+    def test_reuse_fired_everywhere(self, result):
+        assert all(tokens > 0 for tokens in result.column("reused tokens"))
+
+    def test_every_replica_served_traffic(self, result):
+        assert result.column("replicas used") == ["1/1", "1/1", "2/2", "2/2"]

@@ -5,6 +5,82 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.sharding import SequenceSpec, ShardedKV, ShardedQueries, shard_sequences
+from repro.runtime.state import RequestState
+
+
+def assert_exact_vs_sequential(
+    report,
+    rids: dict[int, list[int]],
+    reference: dict[int, list[list[int]]],
+    *,
+    completed_only: bool = False,
+    context: str = "",
+) -> None:
+    """The serving-exactness bit-equality harness.
+
+    Compares a runtime/fleet report's decoded streams against a
+    sequential per-conversation replay (the shapes
+    :func:`repro.workloads.replay.submit_scripts_to_runtime` and
+    :func:`repro.workloads.replay.replay_scripts_sequential` produce).
+
+    Args:
+        report: a ``RuntimeReport`` or ``FleetReport`` (both expose
+            ``records`` and ``generated``).
+        rids: ``{seq_id: [request_id per turn]}``.
+        reference: ``{seq_id: [expected tokens per turn]}``.
+        completed_only: ``False`` (default) asserts every request
+            reached ``FINISHED`` and every stream matches — the
+            fault-free contract. ``True`` rescopes to fault schedules:
+            only ``FINISHED`` turns are compared, and a non-finished
+            turn's conversation must not finish any *later* turn (a
+            shed chain sheds its whole tail).
+        context: appended to failure messages (fault plans, policies,
+            counters — whatever identifies the schedule that diverged).
+    """
+    suffix = f" ({context})" if context else ""
+    for seq_id, turn_rids in rids.items():
+        for i, rid in enumerate(turn_rids):
+            rec = report.records[rid]
+            if rec.state is RequestState.FINISHED:
+                got = list(report.generated(rid))
+                want = list(reference[seq_id][i])
+                assert got == want, (
+                    f"seq {seq_id} turn {i} diverged from sequential "
+                    f"replay: {got} != {want}{suffix}"
+                )
+            elif completed_only:
+                later = [report.records[r] for r in turn_rids[i + 1 :]]
+                assert all(
+                    rec2.state is not RequestState.FINISHED for rec2 in later
+                ), (
+                    f"seq {seq_id} finished a turn after turn {i} "
+                    f"ended {rec.state}{suffix}"
+                )
+            else:
+                raise AssertionError(
+                    f"seq {seq_id} turn {i} did not finish: "
+                    f"{rec.state}{suffix}"
+                )
+
+
+def assert_leak_free(target, *, context: str = "") -> None:
+    """Post-drain KV audit for a runtime or a whole fleet.
+
+    Asserts the engines' KV bookkeeping audits clean (no orphaned KV,
+    leaked paged blocks/refcounts, dangling radix anchors or stale
+    pins) and that no host-side swap payload outlived the drain —
+    per replica when ``target`` is a :class:`repro.cluster.ReplicaFleet`.
+    """
+    suffix = f" ({context})" if context else ""
+    if hasattr(target, "kv_leak_reports"):  # a fleet: audit every replica
+        for replica_id, leaks in target.kv_leak_reports().items():
+            assert not leaks, (
+                f"replica {replica_id} leaked KV state after drain"
+                f"{suffix}: {leaks}"
+            )
+    else:
+        leaks = target.kv_leak_report()
+        assert not leaks, f"KV state leaked after drain{suffix}: {leaks}"
 
 
 def make_qkv(

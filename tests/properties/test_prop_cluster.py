@@ -1,0 +1,301 @@
+"""Property test: the cluster tier preserves serving exactness.
+
+The fleet (:mod:`repro.cluster`) rescopes the runtime's
+serving-exactness contract over *placement*: for any traffic mix, any
+replica count, any routing policy, any drain schedule, and any injected
+fault plan, routing changes which replica serves a conversation — and
+therefore timing, placement, and (under faults) completion — but never
+the value of a single decoded token:
+
+- **every fleet run drains** — each request reaches a terminal state on
+  whichever replica owns it;
+- **completed requests are exact** — every ``FINISHED`` turn streamed
+  tokens bit-identical to replaying its conversation alone through a
+  single sequential session, regardless of which replica ran it;
+- **nothing leaks anywhere** — after the drain, *every* replica's KV
+  bookkeeping audits clean;
+- **stickiness is absolute** — all turns of a conversation execute on
+  the replica that served its first turn (drain included);
+- **a fleet of one is the runtime** — ``ReplicaFleet([runtime])`` is
+  byte-for-byte the bare runtime: same streams, statuses, makespan
+  (the metamorphic anchor tying the cluster tier to the single-runtime
+  property suite).
+"""
+
+import numpy as np
+import pytest
+from helpers import assert_exact_vs_sequential, assert_leak_free
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ReplicaFleet, make_router
+from repro.cluster.router import ROUTING_POLICIES
+from repro.core.engine import ContextParallelEngine
+from repro.model.config import tiny_config
+from repro.model.llama import LlamaModel
+from repro.runtime import ContinuousBatchingRuntime, FaultPlan
+from repro.serving.scheduler import ChunkedPrefillPolicy
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.replay import (
+    replay_scripts_sequential,
+    submit_scripts_to_runtime,
+)
+
+MODEL = LlamaModel(tiny_config(), seed=0)
+VOCAB = MODEL.config.vocab_size
+SETTINGS = dict(max_examples=10, deadline=None)
+
+
+def fresh_engine(world):
+    return ContextParallelEngine(LlamaModel(tiny_config(), seed=0), world_size=world)
+
+
+def make_runtime_factory(*, world, disaggregate, chunk, capacity, prefix_cache, plan):
+    """A fleet-ready factory: every call returns a fresh, fully
+    independent runtime (own engines, clocks, metrics, injector) over
+    the shared read-only model."""
+
+    def make_runtime(_replica_id):
+        kwargs = dict(
+            policy=ChunkedPrefillPolicy(
+                chunk_tokens=chunk,
+                max_tokens_per_round=2 * chunk,
+                max_seqs_per_round=4,
+            ),
+            prefix_cache=prefix_cache,
+            faults=plan,
+        )
+        engine = ContextParallelEngine(MODEL, world_size=world, capacity_tokens=capacity)
+        if disaggregate:
+            decode_engine = ContextParallelEngine(
+                MODEL, world_size=world, capacity_tokens=capacity
+            )
+            return ContinuousBatchingRuntime(engine, decode_engine=decode_engine, **kwargs)
+        return ContinuousBatchingRuntime(engine, **kwargs)
+
+    return make_runtime
+
+
+@st.composite
+def cluster_case(draw, *, with_faults=False):
+    """Traffic x replica count x routing policy (x fault schedule)."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    n_replicas = draw(st.integers(1, 3))
+    policy = draw(st.sampled_from(ROUTING_POLICIES))
+    world = draw(st.sampled_from([1, 2]))
+    disaggregate = draw(st.booleans())
+    chunk = draw(st.sampled_from([5, 16]))
+    capacity = draw(st.sampled_from([None, 144]))
+    think = draw(st.sampled_from([0.0, 2.5]))
+    prefix_cache = draw(st.booleans())
+    plan = None
+    if with_faults:
+        plan = FaultPlan(
+            seed=draw(st.integers(0, 2**16)),
+            transfer_fail_rate=draw(st.sampled_from([0.0, 0.3])),
+            swap_loss_rate=0.0,
+            pool_resets=draw(st.integers(0, 1)),
+            pool_reset_window=24,
+            backoff_base_s=0.5,
+            deadline_s=draw(st.sampled_from([None, 20.0])),
+        )
+    gen = WorkloadGenerator(VOCAB, seed=seed)
+    shared = draw(st.booleans())
+    if shared:
+        scripts = gen.shared_prefix_traffic(
+            n_system_prompts=draw(st.integers(1, 2)),
+            n_fewshot_variants=2,
+            conversations=draw(st.integers(2, 5)),
+            system_tokens=24,
+            fewshot_tokens=8,
+            unique_range=(4, 12),
+            turns=draw(st.integers(1, 2)),
+            response_range=(2, 5),
+        )
+    else:
+        scripts = [
+            gen.conversation(
+                sid,
+                turns=draw(st.integers(1, 2)),
+                first_prompt=int(gen.rng.integers(10, 40)),
+                followup_range=(4, 12),
+                response_range=(2, 5),
+            )
+            for sid in range(draw(st.integers(1, 4)))
+        ]
+    factory = make_runtime_factory(
+        world=world,
+        disaggregate=disaggregate,
+        chunk=chunk,
+        capacity=capacity,
+        prefix_cache=prefix_cache,
+        plan=plan,
+    )
+    return scripts, n_replicas, policy, world, think, factory
+
+
+def _assert_sticky(report):
+    """Every turn of a conversation ran on its placement replica."""
+    for rid, rec in report.records.items():
+        owner = report.owners[rid]
+        assert owner == report.placements[rec.seq_id], (
+            f"request {rid} (seq {rec.seq_id}) ran on replica {owner}, "
+            f"but the conversation was placed on "
+            f"{report.placements[rec.seq_id]}"
+        )
+
+
+class TestFleetExactness:
+    @given(cluster_case())
+    @settings(**SETTINGS)
+    def test_any_routing_schedule_is_exact(self, case):
+        """Fault-free: every request finishes, every stream matches
+        sequential replay, every replica audits leak-free, stickiness
+        holds — for any (traffic, replicas, policy) draw."""
+        scripts, n_replicas, policy, world, think, factory = case
+        fleet = ReplicaFleet.build(factory, n_replicas, router=make_router(policy))
+        rids = submit_scripts_to_runtime(fleet, scripts, think_time_s=think)
+        report = fleet.run(max_steps=200_000)
+
+        assert report.statuses() == {
+            "finished": sum(s.turns for s in scripts)
+        }, f"policy={policy}, replicas={n_replicas}"
+        reference = replay_scripts_sequential(lambda: fresh_engine(world), scripts)
+        assert_exact_vs_sequential(
+            report, rids, reference,
+            context=f"policy={policy}, replicas={n_replicas}",
+        )
+        assert_leak_free(fleet, context=f"policy={policy}, replicas={n_replicas}")
+        _assert_sticky(report)
+
+    @given(cluster_case(with_faults=True))
+    @settings(**SETTINGS)
+    def test_faulted_fleet_completed_requests_stay_exact(self, case):
+        """Under any injected fault schedule (independently replayed on
+        each replica): the fleet drains, completed turns stay
+        bit-identical, nothing leaks on any replica."""
+        scripts, n_replicas, policy, world, think, factory = case
+        fleet = ReplicaFleet.build(factory, n_replicas, router=make_router(policy))
+        rids = submit_scripts_to_runtime(fleet, scripts, think_time_s=think)
+        report = fleet.run(max_steps=200_000)
+
+        for rec in report.records.values():
+            assert rec.status is not None, (
+                f"request {rec.request_id} wedged in {rec.state} "
+                f"(policy={policy}, replicas={n_replicas})"
+            )
+        reference = replay_scripts_sequential(lambda: fresh_engine(world), scripts)
+        assert_exact_vs_sequential(
+            report, rids, reference, completed_only=True,
+            context=f"policy={policy}, replicas={n_replicas}",
+        )
+        assert_leak_free(fleet, context=f"policy={policy}, replicas={n_replicas}")
+        _assert_sticky(report)
+
+    @given(cluster_case())
+    @settings(**SETTINGS)
+    def test_routing_policy_never_changes_token_values(self, case):
+        """Metamorphic over policy: the same traffic through each of the
+        three routers decodes identical token streams — placement and
+        timing may differ, values may not."""
+        scripts, n_replicas, _policy, world, think, factory = case
+
+        def streams(policy):
+            fleet = ReplicaFleet.build(
+                factory, n_replicas, router=make_router(policy)
+            )
+            rids = submit_scripts_to_runtime(fleet, scripts, think_time_s=think)
+            report = fleet.run(max_steps=200_000)
+            return {
+                (seq_id, i): report.generated(rid)
+                for seq_id, turn_rids in rids.items()
+                for i, rid in enumerate(turn_rids)
+            }
+
+        base = streams(ROUTING_POLICIES[0])
+        for policy in ROUTING_POLICIES[1:]:
+            assert streams(policy) == base, (
+                f"policy {policy} changed token values vs "
+                f"{ROUTING_POLICIES[0]} ({n_replicas} replicas)"
+            )
+
+
+class TestFleetOfOneIsTheRuntime:
+    @given(cluster_case())
+    @settings(**SETTINGS)
+    def test_single_replica_fleet_matches_bare_runtime(self, case):
+        """Metamorphic anchor: a 1-replica fleet is byte-for-byte the
+        bare runtime (streams, statuses, makespan), for every policy —
+        the router has one choice and the step loop degenerates."""
+        scripts, _n, policy, _world, think, factory = case
+
+        def signature(target):
+            rids = submit_scripts_to_runtime(target, scripts, think_time_s=think)
+            report = target.run(max_steps=200_000)
+            return (
+                {
+                    (seq_id, i): list(report.generated(rid))
+                    for seq_id, turn_rids in rids.items()
+                    for i, rid in enumerate(turn_rids)
+                },
+                report.statuses(),
+                report.makespan,
+            )
+
+        bare = signature(factory(0))
+        fleet = signature(
+            ReplicaFleet.build(factory, 1, router=make_router(policy))
+        )
+        assert fleet == bare
+
+
+class TestDrainSchedules:
+    @given(cluster_case(), st.integers(0, 2))
+    @settings(**SETTINGS)
+    def test_drain_reroutes_only_new_conversations(self, case, drain_at):
+        """Drain a replica between submissions: conversations already
+        placed there finish there (stickiness overrides drain), no new
+        conversation lands on it, and the run stays exact and leak-free."""
+        scripts, n_replicas, policy, world, think, factory = case
+        if n_replicas < 2:
+            n_replicas = 2  # draining the only replica is the error path
+        fleet = ReplicaFleet.build(factory, n_replicas, router=make_router(policy))
+        target = drain_at % n_replicas
+
+        cut = max(1, len(scripts) // 2)
+        rids = {}
+        for script in scripts[:cut]:
+            rids[script.seq_id] = fleet.submit_script(script, think_time=think)
+        placed_before = set(fleet.placements())
+        fleet.drain(target)
+        for script in scripts[cut:]:
+            rids[script.seq_id] = fleet.submit_script(script, think_time=think)
+
+        for seq_id, replica_id in fleet.placements().items():
+            if seq_id not in placed_before:
+                assert replica_id != target, (
+                    f"new conversation {seq_id} routed to draining "
+                    f"replica {target} (policy={policy})"
+                )
+
+        report = fleet.run(max_steps=200_000)
+        assert report.statuses() == {"finished": sum(s.turns for s in scripts)}
+        reference = replay_scripts_sequential(lambda: fresh_engine(world), scripts)
+        assert_exact_vs_sequential(
+            report, rids, reference,
+            context=f"policy={policy}, drained replica {target}",
+        )
+        assert_leak_free(fleet, context=f"policy={policy}, drained={target}")
+        _assert_sticky(report)
+
+    def test_all_draining_rejects_new_conversations(self):
+        factory = make_runtime_factory(
+            world=1, disaggregate=False, chunk=16, capacity=None,
+            prefix_cache=False, plan=None,
+        )
+        fleet = ReplicaFleet.build(factory, 2, router=make_router("round-robin"))
+        fleet.drain(0)
+        fleet.drain(1)
+        gen = WorkloadGenerator(VOCAB, seed=0)
+        with pytest.raises(RuntimeError, match="every replica is draining"):
+            fleet.submit_script(gen.conversation(0, turns=1, first_prompt=8))

@@ -27,6 +27,7 @@ token streams, and fault counts.
 """
 
 import pytest
+from helpers import assert_exact_vs_sequential, assert_leak_free
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -125,39 +126,20 @@ def _check_run(runtime, scripts, think, replay_world):
             f"(faults={runtime.faults.describe()})"
         )
 
-    # 2. completed requests streamed bit-identical tokens
+    # 2. completed requests streamed bit-identical tokens (and a shed
+    # chain shed its whole tail)
     reference = replay_scripts_sequential(lambda: fresh_engine(replay_world), scripts)
-    for script in scripts:
-        for i, rid in enumerate(rids[script.seq_id]):
-            rec = report.records[rid]
-            if rec.state is RequestState.FINISHED:
-                assert report.generated(rid) == reference[script.seq_id][i], (
-                    f"completed seq {script.seq_id} turn {i} diverged "
-                    f"(faults={runtime.faults.describe()}, "
-                    f"transfer faults={report.metrics.transfer_faults}, "
-                    f"swap losses={report.metrics.swap_losses}, "
-                    f"resets={report.metrics.pool_resets})"
-                )
-            else:
-                # a shed chain sheds its whole tail: no later turn of
-                # the conversation may have completed after it
-                later = [report.records[r] for r in rids[script.seq_id][i + 1 :]]
-                assert all(
-                    rec2.state is not RequestState.FINISHED for rec2 in later
-                ), f"seq {script.seq_id} finished a turn after turn {i} was shed"
+    assert_exact_vs_sequential(
+        report, rids, reference, completed_only=True,
+        context=f"faults={runtime.faults.describe()}, "
+                f"transfer faults={report.metrics.transfer_faults}, "
+                f"swap losses={report.metrics.swap_losses}, "
+                f"resets={report.metrics.pool_resets}",
+    )
 
-    # 3. nothing leaked: KV, allocator blocks, radix anchors, pins
-    engines = [runtime.engine]
-    if runtime.disaggregated:
-        engines.append(runtime.decode_engine)
-    for engine in engines:
-        leaks = engine.kv_leak_report()
-        assert not leaks, (
-            f"KV state leaked after drain (faults={runtime.faults.describe()}): {leaks}"
-        )
+    # 3. nothing leaked: KV, allocator blocks, radix anchors, pins, and
     # the host-side swap store drained with the requests
-    for pool, store in runtime._swap_store.items():
-        assert not store, f"swap store for {pool} still holds {sorted(store)}"
+    assert_leak_free(runtime, context=f"faults={runtime.faults.describe()}")
     return report
 
 

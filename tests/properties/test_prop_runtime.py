@@ -32,6 +32,7 @@ costs, never what it computes.
 
 import numpy as np
 import pytest
+from helpers import assert_exact_vs_sequential
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -123,16 +124,13 @@ class TestRuntimeExactness:
         rids = submit_scripts_to_runtime(runtime, scripts, think_time_s=think)
         report = runtime.run(max_steps=200_000)
         reference = replay_scripts_sequential(lambda: fresh_engine(world), scripts)
-        for script in scripts:
-            got = [report.generated(rid) for rid in rids[script.seq_id]]
-            assert got == reference[script.seq_id], (
-                f"seq {script.seq_id} diverged (capacity={capacity}, chunk={chunk}, "
-                f"preemptions={report.metrics.preemptions})"
-            )
-        # every request reached FINISHED and the trace is fully accounted
-        assert all(
-            r.state is RequestState.FINISHED for r in report.records.values()
+        # asserts every request FINISHED and every stream bit-identical
+        assert_exact_vs_sequential(
+            report, rids, reference,
+            context=f"capacity={capacity}, chunk={chunk}, "
+                    f"preemptions={report.metrics.preemptions}",
         )
+        # the trace is fully accounted
         assert len(report.metrics.turns) == sum(s.turns for s in scripts)
 
     @given(trace_case(), st.integers(1, 6))
@@ -168,9 +166,9 @@ class TestRuntimeExactness:
                     forced += 1
         report = runtime.report()
         reference = replay_scripts_sequential(lambda: fresh_engine(world), scripts)
-        for script in scripts:
-            got = [report.generated(rid) for rid in rids[script.seq_id]]
-            assert got == reference[script.seq_id]
+        assert_exact_vs_sequential(
+            report, rids, reference, context=f"forced={forced}"
+        )
 
     @given(trace_case(), st.sampled_from([(1, 1), (1, 2), (2, 1), (2, 3), (3, 2)]))
     @settings(**SETTINGS)
@@ -192,15 +190,11 @@ class TestRuntimeExactness:
         rids = submit_scripts_to_runtime(runtime, scripts, think_time_s=think)
         report = runtime.run(max_steps=200_000)
         reference = replay_scripts_sequential(lambda: fresh_engine(world_p), scripts)
-        for script in scripts:
-            got = [report.generated(rid) for rid in rids[script.seq_id]]
-            assert got == reference[script.seq_id], (
-                f"seq {script.seq_id} diverged (split={split}, capacity={capacity}, "
-                f"chunk={chunk}, preemptions={report.metrics.preemptions}, "
-                f"refusals={report.metrics.transfer_refusals})"
-            )
-        assert all(
-            r.state is RequestState.FINISHED for r in report.records.values()
+        assert_exact_vs_sequential(
+            report, rids, reference,
+            context=f"split={split}, capacity={capacity}, chunk={chunk}, "
+                    f"preemptions={report.metrics.preemptions}, "
+                    f"refusals={report.metrics.transfer_refusals}",
         )
         # every prompt token crossed the wire exactly once per (re)transfer
         assert report.metrics.transfers >= sum(s.turns for s in scripts) - sum(
@@ -250,9 +244,9 @@ class TestRuntimeExactness:
                     forced += 1
         report = runtime.report()
         reference = replay_scripts_sequential(lambda: fresh_engine(world_d), scripts)
-        for script in scripts:
-            got = [report.generated(rid) for rid in rids[script.seq_id]]
-            assert got == reference[script.seq_id]
+        assert_exact_vs_sequential(
+            report, rids, reference, context=f"split={split}, forced={forced}"
+        )
 
     @given(trace_case(), st.sampled_from(["trim", "swap"]))
     @settings(**SETTINGS)
@@ -273,14 +267,13 @@ class TestRuntimeExactness:
         rids = submit_scripts_to_runtime(runtime, scripts, think_time_s=think)
         report = runtime.run(max_steps=200_000)
         reference = replay_scripts_sequential(lambda: fresh_engine(world), scripts)
-        for script in scripts:
-            got = [report.generated(rid) for rid in rids[script.seq_id]]
-            assert got == reference[script.seq_id], (
-                f"seq {script.seq_id} diverged (mode={mode}, capacity={capacity}, "
-                f"trims={report.metrics.trims}, swaps={report.metrics.swaps_out}, "
-                f"full evicts={report.metrics.preemptions})"
-            )
-        assert all(r.state is RequestState.FINISHED for r in report.records.values())
+        assert_exact_vs_sequential(
+            report, rids, reference,
+            context=f"mode={mode}, capacity={capacity}, "
+                    f"trims={report.metrics.trims}, "
+                    f"swaps={report.metrics.swaps_out}, "
+                    f"full evicts={report.metrics.preemptions}",
+        )
         assert report.metrics.swaps_in == report.metrics.swaps_out
 
     @given(trace_case(), st.sampled_from(["trim", "swap"]), st.integers(1, 6))
@@ -323,9 +316,9 @@ class TestRuntimeExactness:
             m = report.metrics
             assert m.trims + m.swaps_out + m.preemptions >= forced
         reference = replay_scripts_sequential(lambda: fresh_engine(world), scripts)
-        for script in scripts:
-            got = [report.generated(rid) for rid in rids[script.seq_id]]
-            assert got == reference[script.seq_id]
+        assert_exact_vs_sequential(
+            report, rids, reference, context=f"mode={mode}, forced={forced}"
+        )
 
     @given(
         trace_case(),
@@ -376,9 +369,10 @@ class TestRuntimeExactness:
                     forced += 1
         report = runtime.report()
         reference = replay_scripts_sequential(lambda: fresh_engine(world_d), scripts)
-        for script in scripts:
-            got = [report.generated(rid) for rid in rids[script.seq_id]]
-            assert got == reference[script.seq_id]
+        assert_exact_vs_sequential(
+            report, rids, reference,
+            context=f"split={split}, mode={mode}, forced={forced}",
+        )
 
     @given(shared_trace_case(), st.sampled_from(["recompute", "trim", "swap"]))
     @settings(**SETTINGS)
@@ -400,16 +394,13 @@ class TestRuntimeExactness:
         rids = submit_scripts_to_runtime(runtime, scripts, think_time_s=think)
         report = runtime.run(max_steps=200_000)
         reference = replay_scripts_sequential(lambda: fresh_engine(world), scripts)
-        for script in scripts:
-            got = [report.generated(rid) for rid in rids[script.seq_id]]
-            assert got == reference[script.seq_id], (
-                f"seq {script.seq_id} diverged (capacity={capacity}, chunk={chunk}, "
-                f"mode={mode}, order={order}, "
-                f"hits={report.metrics.prefix_hits}, "
-                f"prefix evictions={report.metrics.prefix_evictions}, "
-                f"preemptions={report.metrics.preemptions})"
-            )
-        assert all(r.state is RequestState.FINISHED for r in report.records.values())
+        assert_exact_vs_sequential(
+            report, rids, reference,
+            context=f"capacity={capacity}, chunk={chunk}, mode={mode}, "
+                    f"order={order}, hits={report.metrics.prefix_hits}, "
+                    f"prefix evictions={report.metrics.prefix_evictions}, "
+                    f"preemptions={report.metrics.preemptions}",
+        )
         # reuse accounting is internally consistent
         m = report.metrics
         assert m.prefix_hits + m.prefix_misses >= len(scripts) or capacity is not None
@@ -438,13 +429,11 @@ class TestRuntimeExactness:
         rids = submit_scripts_to_runtime(runtime, scripts, think_time_s=think)
         report = runtime.run(max_steps=200_000)
         reference = replay_scripts_sequential(lambda: fresh_engine(world_p), scripts)
-        for script in scripts:
-            got = [report.generated(rid) for rid in rids[script.seq_id]]
-            assert got == reference[script.seq_id], (
-                f"seq {script.seq_id} diverged (split={split}, capacity={capacity}, "
-                f"chunk={chunk}, hits={report.metrics.prefix_hits})"
-            )
-        assert all(r.state is RequestState.FINISHED for r in report.records.values())
+        assert_exact_vs_sequential(
+            report, rids, reference,
+            context=f"split={split}, capacity={capacity}, chunk={chunk}, "
+                    f"hits={report.metrics.prefix_hits}",
+        )
 
     @given(shared_trace_case(), st.sampled_from(["recompute", "trim", "swap"]), st.integers(1, 6))
     @settings(**SETTINGS)
@@ -483,9 +472,10 @@ class TestRuntimeExactness:
                     forced += 1
         report = runtime.report()
         reference = replay_scripts_sequential(lambda: fresh_engine(world), scripts)
-        for script in scripts:
-            got = [report.generated(rid) for rid in rids[script.seq_id]]
-            assert got == reference[script.seq_id]
+        assert_exact_vs_sequential(
+            report, rids, reference,
+            context=f"mode={mode}, order={order}, forced={forced}",
+        )
 
     def test_final_logits_match_sequential(self):
         """Beyond token ids: the last decode logits of a batched, chunked,

@@ -257,6 +257,64 @@ class TestDegradationLadder:
         assert report.metrics.pool_resets == 2
         assert not runtime.engine.kv_leak_report()
 
+    def test_decode_reset_with_retained_prefill_donor_still_drains(self):
+        """Regression: a decode-pool reset preempting a request whose
+        prefill-pool copy was retained *in full* as a prefix-cache donor
+        used to wedge the run — the resident prefix covered the entire
+        re-prefill input, so the zero-token FIFO entry never got a chunk
+        and the runtime misreported "prefill-pool KV capacity exhausted"
+        on an unbounded pool. The resume path must trim the donor copy to
+        leave one finishing token and complete exactly."""
+        from repro.workloads.generator import ConversationScript
+        from repro.workloads.replay import replay_scripts_sequential
+
+        scripts = [
+            ConversationScript(
+                seq_id=0,
+                prompts=[
+                    np.array([70, 55, 58, 42, 7, 65, 29, 12, 97, 21, 23, 68,
+                              16, 3, 67, 70, 70, 11, 85, 69, 46, 81, 56, 37]),
+                    np.array([96, 9, 6, 83]),
+                ],
+                response_budgets=[5, 2],
+            ),
+            ConversationScript(
+                seq_id=1,
+                prompts=[
+                    np.array([78, 60, 52, 42, 100, 88, 23, 65, 65, 3, 7, 33,
+                              42, 100, 95, 0, 84, 3, 92, 62, 70, 90, 18, 15,
+                              88, 54, 98, 54, 81, 56, 85, 59, 52, 50, 6, 68,
+                              38, 68, 71, 90, 100, 68, 61, 82]),
+                    np.array([92, 21, 49, 85]),
+                ],
+                response_budgets=[3, 4],
+            ),
+        ]
+        plan = FaultPlan(seed=5614, pool_resets=1, pool_reset_window=24,
+                         backoff_base_s=0.5)
+        runtime = ContinuousBatchingRuntime(
+            ContextParallelEngine(MODEL, world_size=2),
+            decode_engine=ContextParallelEngine(MODEL, world_size=2),
+            policy=ChunkedPrefillPolicy(
+                chunk_tokens=16, max_tokens_per_round=32, max_seqs_per_round=4
+            ),
+            preemption="recompute",
+            prefix_cache=True,
+            faults=plan,
+        )
+        rids = submit_scripts_to_runtime(runtime, scripts, think_time_s=0.0)
+        report = runtime.run(max_steps=200_000)
+        assert report.statuses() == {"finished": 4}
+        assert report.metrics.pool_resets == 1
+        reference = replay_scripts_sequential(
+            lambda: ContextParallelEngine(LlamaModel(tiny_config(), seed=0), world_size=2),
+            scripts,
+        )
+        for seq_id, turn_rids in rids.items():
+            for i, rid in enumerate(turn_rids):
+                assert list(report.generated(rid)) == list(reference[seq_id][i])
+        assert not runtime.kv_leak_report()
+
     def test_inactive_plan_changes_nothing(self):
         """faults=FaultPlan() (all knobs off) is byte-for-byte the
         unfaulted runtime: same tokens, same timings, same metrics."""

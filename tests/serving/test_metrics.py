@@ -169,3 +169,45 @@ class TestServingMetrics:
         assert math.isnan(m.pool_utilization("decode", makespan=0.0))
         assert math.isnan(m.pool_utilization("missing", makespan=8.0))
         assert "pool busy: decode: 0.500s/1 rounds, prefill: 4.000s/2 rounds" in m.summary()
+
+
+class TestInstanceIndependence:
+    """Every replica in a fleet owns its own ServingMetrics; no counter
+    state may bleed between instances (the classic mutable-default
+    trap)."""
+
+    def test_no_shared_mutable_defaults(self):
+        import dataclasses
+
+        a, b = ServingMetrics(), ServingMetrics()
+        for f in dataclasses.fields(ServingMetrics):
+            va, vb = getattr(a, f.name), getattr(b, f.name)
+            if isinstance(va, (list, dict, set)):
+                assert va is not vb, (
+                    f"ServingMetrics.{f.name} is shared between instances"
+                )
+
+    def test_mutations_stay_local(self):
+        a, b = ServingMetrics(), ServingMetrics()
+        a.record_round("prefill", 1.0)
+        a.record_prefix_hit(8)
+        a.ttft_samples.append(0.5)
+        a.record_transfer_fault(retried=True, backoff_s=0.25)
+        assert b.pool_rounds == {}
+        assert b.pool_busy_s == {}
+        assert b.prefix_hits == 0
+        assert b.ttft_samples == []
+        assert b.transfer_faults == 0
+
+    def test_fleet_metrics_reads_do_not_mutate_replicas(self):
+        from repro.serving.metrics import FleetMetrics
+
+        m = ServingMetrics()
+        m.record_prefix_hit(4)
+        fm = FleetMetrics()
+        fm.add_replica(0, m, 1.0)
+        before = (m.prefix_hits, m.prefix_misses, list(m.ttft_samples))
+        fm.summary()
+        fm.prefix_hit_rate
+        fm.percentile_ttft(50)
+        assert (m.prefix_hits, m.prefix_misses, list(m.ttft_samples)) == before

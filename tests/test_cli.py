@@ -137,3 +137,54 @@ class TestServePrefixCache:
         out = capsys.readouterr().out
         assert "policy: srpf" in out
         assert "verify vs sequential replay: identical" in out
+
+
+class TestServeFleet:
+    def test_serve_fleet_verifies_exactness(self, capsys):
+        assert main([
+            "serve", "--replicas", "3", "--routing", "prefix",
+            "--prefix-cache", "--traffic", "shared-prefix",
+            "--sessions", "6", "--turns", "2", "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3 x" in out and "(prefix routing)" in out
+        assert "placements:" in out
+        assert "post-drain KV audit: clean" in out
+        assert "replicas: 3" in out
+        assert "verify vs sequential replay: identical" in out
+
+    def test_serve_fleet_round_robin_with_faults(self, capsys):
+        assert main([
+            "serve", "--replicas", "2", "--routing", "round-robin",
+            "--sessions", "4", "--turns", "2",
+            "--faults", "transfer=0.2", "--fault-seed", "3", "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(round-robin routing)" in out
+        assert "verify vs sequential replay: identical" in out
+
+    def test_serve_fleet_least_loaded(self, capsys):
+        assert main([
+            "serve", "--replicas", "2", "--routing", "least-loaded",
+            "--sessions", "3", "--verify",
+        ]) == 0
+        assert "verify vs sequential replay: identical" in capsys.readouterr().out
+
+    def test_serve_replicas_one_keeps_single_runtime_output(self, capsys):
+        assert main(["serve", "--replicas", "1", "--sessions", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "replicas:" not in out
+        assert "placements:" not in out
+
+    def test_serve_rejects_zero_replicas(self, capsys):
+        assert main(["serve", "--replicas", "0"]) == 2
+        assert "--replicas" in capsys.readouterr().err
+
+    def test_serve_rejects_routing_without_fleet(self, capsys):
+        assert main(["serve", "--routing", "prefix"]) == 2
+        assert "--replicas" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_routing_policy(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--replicas", "2", "--routing", "random"])
+        assert "invalid choice" in capsys.readouterr().err
