@@ -1,0 +1,34 @@
+"""Correctness tooling: static determinism linting and dynamic KV sanitizing.
+
+Two complementary layers defend the repo's exactness invariants:
+
+- :mod:`repro.analysis.lint` — an AST-based determinism linter that
+  rejects sources of hidden nondeterminism (unseeded RNG, wall-clock
+  reads, set-iteration-order leaks, ``id()``-based ordering) before the
+  code ever runs.  ``python -m repro lint`` is the CLI entry point.
+- :mod:`repro.analysis.sanitizer` — a shadow-state sanitizer that
+  mirrors every paged-KV block (owner streams, refcount, freed bit,
+  copy-on-write lineage) and validates each allocator and engine
+  lifecycle operation as it happens, raising :class:`SanitizerError`
+  with an op trace at the first faulty operation instead of at the
+  end-of-run ``audit()``.
+"""
+
+from repro.analysis.lint import Finding, LintRule, lint_paths, lint_source
+from repro.analysis.sanitizer import (
+    AllocatorSanitizer,
+    KVSanitizer,
+    SanitizerError,
+    attach_sanitizer,
+)
+
+__all__ = [
+    "AllocatorSanitizer",
+    "Finding",
+    "KVSanitizer",
+    "LintRule",
+    "SanitizerError",
+    "attach_sanitizer",
+    "lint_paths",
+    "lint_source",
+]

@@ -271,6 +271,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         swap_capacity_tokens=args.swap_capacity,
         prefix_cache=args.prefix_cache,
         faults=faults,
+        sanitize=args.sanitize,
     )
 
     # fresh policy/clock/engines per replica: replicas share model
@@ -404,6 +405,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if mismatches == 0 else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import (
+        default_lint_target,
+        lint_paths,
+        rules_table,
+    )
+
+    if args.list_rules:
+        print(rules_table())
+        return 0
+    if args.paths:
+        findings = lint_paths(args.paths)
+        target_desc = ", ".join(args.paths)
+    else:
+        target = default_lint_target()
+        findings = lint_paths([target], root=target.parent)
+        target_desc = str(target)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} finding(s) in {target_desc}", file=sys.stderr)
+        return 1
+    print(f"clean: no determinism findings in {target_desc}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -527,7 +554,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true",
         help="bit-check decoded tokens against sequential per-conversation replay",
     )
+    p_serve.add_argument(
+        "--sanitize", action="store_true",
+        help="arm the KV shadow-state sanitizer on every pool engine: each "
+             "allocator/lifecycle op is validated against an independent "
+             "shadow model and the run fails at the first double-free, "
+             "use-after-free, refcount, copy-on-write, or leak violation",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="AST determinism linter over the repro package "
+             "(unseeded RNG, wall-clock reads, set-iteration order, "
+             "id()-based ordering)",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint (default: the installed "
+             "repro package tree)",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table (ids, scopes, rationale) and exit",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_trace = sub.add_parser("trace", help="export a Chrome trace of a demo run")
     p_trace.add_argument("--world", type=int, default=4)

@@ -262,6 +262,14 @@ class ContinuousBatchingRuntime:
             losses (recompute fallback), whole-pool KV resets, per-request
             deadlines (timeout shedding) and queue-depth backpressure.
             ``None`` (default) or an inactive plan injects nothing.
+        sanitize: attach the KV shadow-state sanitizer
+            (:mod:`repro.analysis.sanitizer`) to every pool engine.
+            Each allocator op and engine lifecycle op is then validated
+            against an independent shadow model, raising
+            :class:`~repro.analysis.sanitizer.SanitizerError` at the
+            first double-free / use-after-free / refcount underflow /
+            COW violation, and :meth:`run` checks for undrained leaks
+            after the queue empties.
     """
 
     def __init__(
@@ -277,6 +285,7 @@ class ContinuousBatchingRuntime:
         swap_capacity_tokens: int | None = None,
         prefix_cache: bool = False,
         faults: FaultPlan | None = None,
+        sanitize: bool = False,
     ):
         if max_prefill_rounds_per_decode < 1:
             raise ValueError(
@@ -362,6 +371,17 @@ class ContinuousBatchingRuntime:
         self._holders_prefill: set[int] = set()
         self._holders_decode: set[int] = self._holders_prefill if not self.disaggregated else set()
 
+        # shadow-state sanitizer (opt-in): validates every allocator and
+        # engine lifecycle op against an independent model, then checks
+        # for undrained leaks when run() finishes
+        self.sanitizers: list = []
+        if sanitize:
+            from repro.analysis.sanitizer import attach_sanitizer
+
+            self.sanitizers.append(attach_sanitizer(self.engine))
+            if self.disaggregated:
+                self.sanitizers.append(attach_sanitizer(self.decode_engine))
+
     @property
     def now(self) -> float:
         """Simulated time: the later of the pool clocks (equal colocated)."""
@@ -434,6 +454,8 @@ class ContinuousBatchingRuntime:
             steps += 1
             if max_steps is not None and steps >= max_steps:
                 raise RuntimeError(f"runtime did not drain within {max_steps} steps")
+        for sanitizer in self.sanitizers:
+            sanitizer.check_drained()
         return self.report()
 
     def step(self) -> bool:
@@ -695,7 +717,7 @@ class ContinuousBatchingRuntime:
     def _next_prefill_event(self) -> float | None:
         """Earliest time the prefill pool gains runnable work."""
         times = []
-        for seq_id in self._waiting:
+        for seq_id in sorted(self._waiting):
             head = self._records[self._chains[seq_id][0]]
             times.append(max(head.request.arrival, head.ready_at))
         times.extend(self._records[rid].ready_at for _key, rid in self._prefill_queue)
@@ -1093,7 +1115,7 @@ class ContinuousBatchingRuntime:
         ``None`` when nothing is evictable."""
         engine = self._pool_engine(pool)
         idle_free, idle_pending = [], []
-        for seq_id in self._pool_holders(pool):
+        for seq_id in sorted(self._pool_holders(pool)):
             if seq_id in protected:
                 continue
             chain = self._chains.get(seq_id)
@@ -1119,7 +1141,7 @@ class ContinuousBatchingRuntime:
         # pressure trims or evicts them through record bookkeeping
         candidates = [
             rec
-            for rec in (self._records[rid] for rid in self._live)
+            for rec in (self._records[rid] for rid in sorted(self._live))
             if (rec.state in _ACTIVE_STATES or rec.state is RequestState.PREEMPTED)
             and rec.seq_id not in protected
             and (not self.disaggregated or self._pool_of(rec) == pool)
@@ -1635,7 +1657,7 @@ class ContinuousBatchingRuntime:
     # ------------------------------------------------------------------ #
 
     def _decoders(self) -> list[RequestRecord]:
-        return [self._records[rid] for rid in self._decoding]
+        return [self._records[rid] for rid in sorted(self._decoding)]
 
     def _any_live(self) -> bool:
         return bool(self._live)
@@ -1643,7 +1665,7 @@ class ContinuousBatchingRuntime:
     def _next_arrival(self) -> float | None:
         times = [
             self._records[self._chains[seq_id][0]].request.arrival
-            for seq_id in self._waiting
+            for seq_id in sorted(self._waiting)
         ]
         return min(times) if times else None
 

@@ -1,0 +1,80 @@
+"""kv_leak_report() defect coverage: corrupt engine bookkeeping and pin
+the precise violation each detector reports (only the clean path was
+pinned before)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ContextParallelEngine
+
+
+@pytest.fixture
+def engine(tiny_model):
+    return ContextParallelEngine(tiny_model, world_size=2, capacity_tokens=256)
+
+
+@pytest.fixture
+def prefilled(engine, rng):
+    engine.prefill({0: rng.integers(0, 100, size=16)})
+    return engine
+
+
+class TestKvLeakReport:
+    def test_clean_engine_is_clean(self, prefilled):
+        assert prefilled.kv_leak_report() == []
+
+    def test_orphaned_kv_reported(self, prefilled):
+        prefilled.seq_lengths.pop(0)
+        problems = prefilled.kv_leak_report()
+        assert any("orphaned KV for untracked seq 0" in p for p in problems)
+        # with nothing tracked, the rank allocators' claimed blocks are
+        # also flagged as leaked
+        assert any("blocks leaked with no resident sequences" in p for p in problems)
+
+    def test_length_drift_reported(self, prefilled):
+        prefilled.seq_lengths[0] += 5
+        problems = prefilled.kv_leak_report()
+        assert any(
+            "ranks hold 16 tokens but tracked length is 21" in p for p in problems
+        )
+
+    def test_allocator_violations_surface_with_rank_prefix(self, prefilled):
+        cache = prefilled.caches[1]
+        block = cache._allocator._owners[(0,)][0]
+        cache._allocator._ref[block] += 1
+        problems = prefilled.kv_leak_report()
+        assert any(p.startswith("rank 1: block") for p in problems)
+
+    def test_dangling_radix_anchor_reported(self, prefilled, rng):
+        prefilled.enable_prefix_cache()
+        prefilled.prefill({1: rng.integers(0, 100, size=8)})
+        assert prefilled.kv_leak_report() == []
+        # corrupt: sequence forgotten without removing its anchor
+        for cache in prefilled.caches:
+            cache.drop(1)
+        prefilled.seq_lengths.pop(1)
+        problems = prefilled.kv_leak_report()
+        assert any("dangling radix anchor for evicted seq 1" in p for p in problems)
+
+    def test_anchor_longer_than_resident_reported(self, prefilled, rng):
+        prefilled.enable_prefix_cache()
+        prefilled.prefill({1: rng.integers(0, 100, size=8)})
+        prefilled.kv_leak_report()  # flush the index
+        prefilled.seq_lengths[1] = 4  # corrupt: shrink without trimming anchor
+        problems = prefilled.kv_leak_report()
+        assert any(
+            "anchor covers 8 tokens but only 4 are resident" in p for p in problems
+        )
+
+    def test_stale_pin_reported(self, prefilled, rng):
+        index = prefilled.enable_prefix_cache()
+        prefilled.prefill({1: rng.integers(0, 100, size=8)})
+        prefilled.kv_leak_report()  # flush the index so the anchor exists
+        index.pin(1)
+        # remove preserves borrower pins (documented seq-id-reuse
+        # behaviour) — an evict with a live pin leaves the pin stale
+        prefilled.evict(1)
+        problems = prefilled.kv_leak_report()
+        assert any("stale pin on non-anchor seq 1" in p for p in problems)

@@ -66,6 +66,14 @@ class TestCommands:
         assert "pool utilization:" in out
         assert "verify vs sequential replay: identical" in out
 
+    def test_serve_sanitize_verifies_exactness(self, capsys):
+        assert main([
+            "serve", "--sessions", "2", "--turns", "2", "--world", "2",
+            "--capacity", "80", "--sanitize", "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "verify vs sequential replay: identical" in out
+
     def test_serve_rejects_malformed_disaggregate(self, capsys):
         assert main(["serve", "--disaggregate", "2x1"]) == 2
         assert "P:D" in capsys.readouterr().err
