@@ -211,6 +211,68 @@ def bench_runtime_throughput(benchmark):
     benchmark.extra_info["preemptions"] = report.metrics.preemptions
 
 
+def bench_runtime_trace_overhead(benchmark):
+    """The same replay as ``bench_runtime_throughput`` with the tracer
+    hooks in the hot path: the benchmarked (tracer-off) run must stay
+    within noise of ``bench_runtime_throughput`` — a NULL_TRACER guard is
+    all the scheduler pays — while ``extra_info`` records the cost of
+    actually recording (``traced_mean_ms`` / ``trace_overhead_pct``) and
+    the event volume the workload produces."""
+    import time
+
+    from repro.obs import RecordingTracer
+    from repro.runtime import ContinuousBatchingRuntime
+    from repro.serving.scheduler import ChunkedPrefillPolicy
+    from repro.workloads.generator import WorkloadGenerator
+    from repro.workloads.replay import submit_scripts_to_runtime
+
+    model = LlamaModel(tiny_config(), seed=0)
+    gen = WorkloadGenerator(model.config.vocab_size, seed=3)
+    scripts = [
+        gen.conversation(
+            sid, turns=2, first_prompt=40, followup_range=(6, 12), response_range=(3, 5)
+        )
+        for sid in range(4)
+    ]
+
+    def run(tracer=None):
+        runtime = ContinuousBatchingRuntime(
+            ContextParallelEngine(model, world_size=2),
+            policy=ChunkedPrefillPolicy(
+                chunk_tokens=16, max_tokens_per_round=32, max_seqs_per_round=4
+            ),
+            tracer=tracer,
+        )
+        submit_scripts_to_runtime(runtime, scripts, think_time_s=2.0)
+        return runtime.run(max_steps=100_000)
+
+    report = benchmark(run)
+
+    def best_of(n, **kwargs):
+        times = []
+        for _ in range(n):
+            t0 = time.perf_counter()
+            run(**kwargs)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    off = best_of(3)
+    tracer = RecordingTracer()
+    t0 = time.perf_counter()
+    traced_report = run(tracer=tracer)
+    traced = time.perf_counter() - t0
+    for _ in range(2):
+        t0 = time.perf_counter()
+        run(tracer=RecordingTracer())
+        traced = min(traced, time.perf_counter() - t0)
+
+    assert traced_report.generated_tokens == report.generated_tokens
+    benchmark.extra_info["trace_events"] = len(tracer.events)
+    benchmark.extra_info["traced_mean_ms"] = round(traced * 1e3, 3)
+    benchmark.extra_info["untraced_mean_ms"] = round(off * 1e3, 3)
+    benchmark.extra_info["trace_overhead_pct"] = round(100.0 * (traced - off) / off, 1)
+
+
 def bench_preemption_modes(benchmark):
     """One capacity-pressure trace replayed under all three preemption
     remedies (recompute, tail-trim, CPU swap) back to back.

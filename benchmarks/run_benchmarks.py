@@ -89,6 +89,7 @@ def main(argv: list[str] | None = None) -> int:
                 "min_ms": round(b["stats"]["min"] * 1e3, 4),
                 "stddev_ms": round(b["stats"]["stddev"] * 1e3, 4),
                 "rounds": b["stats"]["rounds"],
+                **({"extra_info": b["extra_info"]} if b.get("extra_info") else {}),
             }
             for b in raw["benchmarks"]
         },

@@ -36,7 +36,17 @@ Commands:
   stickiness for follow-up turns; ``--verify`` bit-checks every
   decoded token against sequential per-conversation replay (under
   faults, every *completed* request — shed and timed-out requests
-  claim nothing; routing never changes token values).
+  claim nothing; routing never changes token values) and cross-checks
+  every metrics counter against the recorded scheduling trace (drift
+  fails the run); ``--trace PATH --trace-format {jsonl,chrome}``
+  records the deterministic scheduling trace (same seed ⇒
+  byte-identical file; the chrome format loads in ui.perfetto.dev);
+  ``--prom PATH`` writes the metrics as a Prometheus text exposition.
+- ``explain REQ_ID --trace PATH`` — reconstruct one request's timeline
+  from a recorded serve trace and decompose its TTFT into queue wait,
+  prefill compute, swap/transfer stalls, fault backoff, and
+  post-preemption requeue wait (components sum to TTFT exactly), plus
+  the fleet routing decision when the trace came from ``--replicas``.
 """
 
 from __future__ import annotations
@@ -257,6 +267,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.replicas < 1:
         print(f"error: --replicas must be >= 1, got {args.replicas}", file=sys.stderr)
         return 2
+    # --verify needs a recorded trace for the metrics reconciliation
+    # cross-check even when no --trace file was asked for
+    from repro.obs import NULL_TRACER, RecordingTracer
+
+    tracer = RecordingTracer() if (args.trace or args.verify) else NULL_TRACER
     if args.routing is not None and args.replicas == 1:
         print(
             "error: --routing only applies with --replicas > 1 "
@@ -275,8 +290,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     # fresh policy/clock/engines per replica: replicas share model
-    # weights (read-only) but never scheduler or clock state
-    def make_runtime():
+    # weights (read-only) but never scheduler or clock state; fleet
+    # replicas record through a replica-scoped tracer view so every
+    # event in a fleet trace is attributable
+    def make_runtime(replica_id=None):
+        rt_tracer = tracer if replica_id is None else tracer.scoped(replica=replica_id)
         policy = ChunkedPrefillPolicy(
             chunk_tokens=args.chunk,
             max_tokens_per_round=args.round_budget,
@@ -291,6 +309,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 engine,
                 policy=policy,
                 clock=SimulatedStepClock(sim, n_ranks=args.priced_ranks),
+                tracer=rt_tracer,
                 **remedy,
             )
         decode_cap = (
@@ -308,6 +327,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             decode_engine=decode_engine,
             policy=policy,
             clock=SimulatedStepClock(sim, n_ranks=args.priced_ranks, tp_decode=True),
+            tracer=rt_tracer,
             **remedy,
         )
 
@@ -327,7 +347,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         routing = args.routing if args.routing is not None else "prefix"
         fleet = ReplicaFleet.build(
-            lambda i: make_runtime(), args.replicas, router=make_router(routing)
+            make_runtime, args.replicas, router=make_router(routing), tracer=tracer
         )
         runtime = fleet
         deploy = f"{args.replicas} x {deploy} ({routing} routing)"
@@ -373,6 +393,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     print(report.metrics.summary())
 
+    if args.trace:
+        from repro.obs import write_chrome, write_jsonl
+
+        if args.trace_format == "chrome":
+            write_chrome(tracer.events, args.trace)
+        else:
+            write_jsonl(tracer.events, args.trace)
+        print(
+            f"wrote {len(tracer.events)} trace events to {args.trace} "
+            f"({args.trace_format})"
+        )
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            fh.write(report.metrics.prometheus_text())
+        print(f"wrote Prometheus exposition to {args.prom}")
+
     if not args.verify:
         return 0
     reference = replay_scripts_sequential(
@@ -402,7 +438,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if skipped:
         scope += f", {skipped} shed/timed-out skipped"
     print(f"verify vs sequential replay: {verdict} ({scope})")
-    return 0 if mismatches == 0 else 1
+
+    # the trace/metrics cross-check: every ServingMetrics counter and
+    # stall total must be exactly derivable from the recorded trace
+    from repro.obs import reconcile, reconcile_fleet
+
+    if fleet is not None:
+        drift = reconcile_fleet(tracer.events, report.metrics)
+    else:
+        drift = reconcile(tracer.events, runtime.metrics)
+    for problem in drift:
+        print(f"DRIFT {problem}")
+    recon = "exact" if not drift else f"{len(drift)} counter(s) drifted"
+    print(f"verify trace reconciliation: {recon} "
+          f"({len(tracer.events)} events vs metrics)")
+    return 0 if mismatches == 0 and not drift else 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs import format_explanation, load_jsonl, request_ids
+
+    try:
+        events = load_jsonl(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, TypeError) as exc:
+        print(
+            f"error: {args.trace!r} is not a JSONL trace ({exc!r}); "
+            "explain wants the output of serve --trace PATH "
+            "--trace-format jsonl",
+            file=sys.stderr,
+        )
+        return 2
+    if args.request_id is None:
+        ids = request_ids(events)
+        print(f"{len(events)} events, {len(ids)} requests: "
+              + ", ".join(str(i) for i in ids))
+        return 0
+    try:
+        print(format_explanation(events, args.request_id))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -552,7 +631,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--seed", type=int, default=11)
     p_serve.add_argument(
         "--verify", action="store_true",
-        help="bit-check decoded tokens against sequential per-conversation replay",
+        help="bit-check decoded tokens against sequential per-conversation "
+             "replay, and cross-check every metrics counter against the "
+             "recorded scheduling trace (any drift fails the run)",
+    )
+    p_serve.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record the deterministic scheduling trace (admits, prefill "
+             "chunks, decode rounds, KV transfers, swaps, preemptions, "
+             "prefix-cache and fault events on simulated time) and write "
+             "it to PATH; same seed + same flags => byte-identical file",
+    )
+    p_serve.add_argument(
+        "--trace-format", choices=["jsonl", "chrome"], default="jsonl",
+        help="trace file format: JSONL (one event per line, canonical, "
+             "default) or Chrome/Perfetto trace.json (load in "
+             "chrome://tracing or ui.perfetto.dev; replicas are "
+             "processes, pools and requests are thread tracks)",
+    )
+    p_serve.add_argument(
+        "--prom", metavar="PATH", default=None,
+        help="write the run's metrics as a Prometheus text exposition to "
+             "PATH (fleet runs label every series with its replica id)",
     )
     p_serve.add_argument(
         "--sanitize", action="store_true",
@@ -579,6 +679,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule table (ids, scopes, rationale) and exit",
     )
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="decompose one request's TTFT from a recorded serve trace",
+    )
+    p_explain.add_argument(
+        "request_id", type=int, nargs="?", default=None,
+        help="fleet/runtime request id to explain (omit to list the "
+             "trace's request ids)",
+    )
+    p_explain.add_argument(
+        "--trace", metavar="PATH", required=True,
+        help="JSONL trace recorded by serve --trace PATH "
+             "--trace-format jsonl",
+    )
+    p_explain.set_defaults(func=_cmd_explain)
 
     p_trace = sub.add_parser("trace", help="export a Chrome trace of a demo run")
     p_trace.add_argument("--world", type=int, default=4)

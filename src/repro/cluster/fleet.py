@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.router import PrefixAffinityRouter, Router
+from repro.obs.trace import NULL_TRACER
 from repro.runtime.runtime import ContinuousBatchingRuntime, RuntimeReport
 from repro.runtime.state import RequestRecord, RequestState, TurnRequest
 from repro.serving.metrics import FleetMetrics
@@ -162,6 +163,13 @@ class ReplicaFleet:
             is opaque to the router beyond its scheduler-facing views.
         router: routing policy for *new* conversations (default: a fresh
             :class:`repro.cluster.router.PrefixAffinityRouter`).
+        tracer: optional :class:`repro.obs.trace.Tracer` receiving one
+            ``route`` instant per placement decision (policy, stickiness,
+            chosen replica, and — for score-based policies — the
+            candidate scores). Replica-internal events are emitted by
+            each runtime's own tracer, which the factory should scope
+            with ``tracer.scoped(replica=i)`` so fleet traces stay
+            attributable per replica.
     """
 
     def __init__(
@@ -169,10 +177,12 @@ class ReplicaFleet:
         runtimes: list[ContinuousBatchingRuntime],
         *,
         router: Router | None = None,
+        tracer=None,
     ):
         if not runtimes:
             raise ValueError("a fleet needs at least one runtime")
         self.router = router if router is not None else PrefixAffinityRouter()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._replicas: dict[int, Replica] = {
             i: Replica(i, rt) for i, rt in enumerate(runtimes)
         }
@@ -183,7 +193,7 @@ class ReplicaFleet:
 
     @classmethod
     def build(
-        cls, make_runtime, n: int, *, router: Router | None = None
+        cls, make_runtime, n: int, *, router: Router | None = None, tracer=None
     ) -> "ReplicaFleet":
         """Construct a fleet of ``n`` replicas from a factory.
 
@@ -193,7 +203,7 @@ class ReplicaFleet:
         """
         if n < 1:
             raise ValueError(f"replica count must be >= 1, got {n}")
-        return cls([make_runtime(i) for i in range(n)], router=router)
+        return cls([make_runtime(i) for i in range(n)], router=router, tracer=tracer)
 
     # ------------------------------------------------------------------ #
     # topology
@@ -251,6 +261,16 @@ class ReplicaFleet:
         seq_id = request.seq_id
         if seq_id in self._sticky:
             replica = self._replicas[self._sticky[seq_id]]
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "route",
+                    request.arrival,
+                    request_id=request.request_id,
+                    seq_id=seq_id,
+                    replica=replica.id,
+                    policy=self.router.name,
+                    sticky=True,
+                )
         else:
             eligible = [r for r in self.replicas if not r.draining]
             if not eligible:
@@ -260,6 +280,23 @@ class ReplicaFleet:
                 )
             tokens = np.asarray(request.prompt, dtype=np.int64)
             replica = self.router.place(tokens, eligible)
+            if self.tracer.enabled:
+                # scores are read *before* placed() updates the shadow
+                # index, so they are the ones place() actually compared
+                scores = {
+                    str(rid): score
+                    for rid, score in self.router.scores(tokens, eligible).items()
+                }
+                self.tracer.instant(
+                    "route",
+                    request.arrival,
+                    request_id=request.request_id,
+                    seq_id=seq_id,
+                    replica=replica.id,
+                    policy=self.router.name,
+                    sticky=False,
+                    **({"scores": scores} if scores else {}),
+                )
             self.router.placed(replica, tokens)
             self._sticky[seq_id] = replica.id
 

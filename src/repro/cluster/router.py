@@ -73,6 +73,13 @@ class Router:
     def forget(self, replica) -> None:
         """Drop any per-replica routing state (replica removed)."""
 
+    def scores(self, tokens: np.ndarray, replicas: list) -> dict:
+        """Per-replica placement scores for the trace's ``route`` events
+        (empty when the policy is not score-based). Must be side-effect
+        free: the fleet only calls this when a tracer is recording, so
+        a scored placement and an unscored one must behave identically."""
+        return {}
+
 
 class RoundRobinRouter(Router):
     """Cycle over eligible replicas in id order, ignoring all state."""
@@ -140,6 +147,9 @@ class PrefixAffinityRouter(Router):
     def place(self, tokens, replicas):
         # max score; ties toward the lowest replica id
         return max(replicas, key=lambda r: (self.score(r, tokens), -r.id))
+
+    def scores(self, tokens, replicas):
+        return {r.id: self.score(r, tokens) for r in replicas}
 
     def placed(self, replica, tokens) -> None:
         shadow = self._shadow.setdefault(replica.id, PrefixIndex())

@@ -1,0 +1,279 @@
+"""Labeled metrics registry with Prometheus text exposition.
+
+The serving stack accumulates dozens of counters (preemptions, transfer
+refusals, fault retries, ...) that until this layer lived as loose
+dataclass fields on :class:`repro.serving.metrics.ServingMetrics`. This
+module gives them a production-shaped home: a small registry of named,
+optionally labeled **counters**, **gauges**, and **histograms**, with
+deterministic Prometheus text-format exposition
+(https://prometheus.io/docs/instrumenting/exposition_formats/).
+
+Design points, matched to the repository's invariants:
+
+- **Deterministic exposition.** :meth:`MetricsRegistry.prometheus_text`
+  orders metric families by name and label sets by sorted label values,
+  so two identical runs expose byte-identical text — the same bar the
+  trace determinism property holds event streams to.
+- **Simulated-time friendly.** Nothing here reads a clock; histograms
+  record whatever (simulated-seconds) samples callers pass.
+- **Collision-safe.** Registering the same name twice with an identical
+  kind/label-set/help returns the existing instrument (so re-based
+  metrics objects can share a registry); registering it with a
+  *different* shape raises — a label collision is a bug, not a merge.
+
+Instruments keep their raw state inspectable (``Counter.value()``,
+``Histogram.samples``) because the repository's experiments and tests
+read exact integers, not scraped approximations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default histogram buckets (simulated seconds): wide enough for TTFT at
+#: paper scale (tens of seconds) and TTIT (tens of milliseconds) alike.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers render bare, floats via repr."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(names: tuple[str, ...], values: tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(f'{n}="{v}"' for n, v in zip(names, values))
+    return "{" + inner + "}"
+
+
+@dataclass
+class Counter:
+    """Monotonic counter, optionally labeled.
+
+    Unlabeled usage: ``c.inc()`` / ``c.value()``. Labeled usage:
+    ``c.inc(2, pool="prefill")`` / ``c.value(pool="prefill")`` /
+    ``c.items()`` for every label tuple seen so far.
+    """
+
+    name: str
+    help: str
+    label_names: tuple[str, ...] = ()
+    _values: dict[tuple[str, ...], float] = field(default_factory=dict)
+
+    def _key(self, labels: dict[str, str]) -> tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"counter {self.name!r} wants labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[n]) for n in self.label_names)
+
+    def inc(self, amount: float = 1, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: increment must be >= 0, got {amount}")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(self._key(labels), 0)
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        return sum(self._values.values())
+
+    def items(self) -> list[tuple[tuple[str, ...], float]]:
+        """``(label_values, value)`` pairs, sorted by label values."""
+        return sorted(self._values.items())
+
+    def expose(self) -> list[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} counter"]
+        if not self.label_names:
+            lines.append(f"{self.name} {_format_value(self._values.get((), 0))}")
+            return lines
+        for values, v in self.items():
+            lines.append(f"{self.name}{_label_str(self.label_names, values)} {_format_value(v)}")
+        if not self._values:
+            # an empty labeled counter still exposes its family header only
+            pass
+        return lines
+
+
+@dataclass
+class Gauge:
+    """Last-value (or running-max) gauge, optionally labeled."""
+
+    name: str
+    help: str
+    label_names: tuple[str, ...] = ()
+    _values: dict[tuple[str, ...], float] = field(default_factory=dict)
+
+    def _key(self, labels: dict[str, str]) -> tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"gauge {self.name!r} wants labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[n]) for n in self.label_names)
+
+    def set(self, value: float, **labels: str) -> None:
+        self._values[self._key(labels)] = float(value)
+
+    def set_max(self, value: float, **labels: str) -> None:
+        """Keep the running maximum (peak-occupancy style gauges)."""
+        key = self._key(labels)
+        self._values[key] = max(self._values.get(key, float("-inf")), float(value))
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def items(self) -> list[tuple[tuple[str, ...], float]]:
+        return sorted(self._values.items())
+
+    def expose(self) -> list[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} gauge"]
+        if not self.label_names:
+            lines.append(f"{self.name} {_format_value(self._values.get((), 0.0))}")
+            return lines
+        for values, v in self.items():
+            lines.append(f"{self.name}{_label_str(self.label_names, values)} {_format_value(v)}")
+        return lines
+
+
+@dataclass
+class Histogram:
+    """Sample-retaining histogram (unlabeled).
+
+    Keeps the raw sample list — the repository's metrics API computes
+    exact percentiles from it — and exposes cumulative Prometheus
+    buckets, ``_sum`` and ``_count`` derived from the same samples, so
+    the two views can never drift. An empty histogram exposes zero
+    counts (a scrape of an idle runtime is valid, not an error).
+    """
+
+    name: str
+    help: str
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    samples: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if tuple(sorted(self.buckets)) != tuple(self.buckets):
+            raise ValueError(f"histogram {self.name!r}: buckets must be sorted")
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def sum(self) -> float:
+        return float(sum(self.samples))
+
+    def expose(self) -> list[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} histogram"]
+        cumulative = 0
+        remaining = sorted(self.samples)
+        idx = 0
+        for bound in self.buckets:
+            while idx < len(remaining) and remaining[idx] <= bound:
+                idx += 1
+            cumulative = idx
+            lines.append(f'{self.name}_bucket{{le="{_format_value(bound)}"}} {cumulative}')
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {self.count}')
+        lines.append(f"{self.name}_sum {_format_value(self.sum)}")
+        lines.append(f"{self.name}_count {self.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of instruments with one exposition surface.
+
+    Re-registering a name with the *same* shape (kind, labels, help,
+    buckets) returns the existing instrument; a different shape raises
+    ``ValueError`` — silent label collisions would corrupt exposition.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+
+    def _register(self, name: str, instrument) -> object:
+        existing = self._instruments.get(name)
+        if existing is None:
+            self._instruments[name] = instrument
+            return instrument
+        same_kind = type(existing) is type(instrument)
+        same_shape = same_kind and (
+            getattr(existing, "label_names", ()) == getattr(instrument, "label_names", ())
+            and getattr(existing, "buckets", None) == getattr(instrument, "buckets", None)
+            and existing.help == instrument.help
+        )
+        if not same_shape:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(existing).__name__}({getattr(existing, 'label_names', ())}); "
+                f"refusing colliding re-registration as "
+                f"{type(instrument).__name__}({getattr(instrument, 'label_names', ())})"
+            )
+        return existing
+
+    def counter(self, name: str, help: str, *, labels: tuple[str, ...] = ()) -> Counter:
+        return self._register(name, Counter(name, help, tuple(labels)))
+
+    def gauge(self, name: str, help: str, *, labels: tuple[str, ...] = ()) -> Gauge:
+        return self._register(name, Gauge(name, help, tuple(labels)))
+
+    def histogram(
+        self, name: str, help: str, *, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._register(name, Histogram(name, help, tuple(buckets)))
+
+    def instruments(self) -> list[object]:
+        """Registered instruments, sorted by name."""
+        return [self._instruments[n] for n in sorted(self._instruments)]
+
+    def prometheus_text(self) -> str:
+        """Full exposition, metric families sorted by name."""
+        lines: list[str] = []
+        for instrument in self.instruments():
+            lines.extend(instrument.expose())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def prometheus_text_multi(registries: dict[int, MetricsRegistry]) -> str:
+    """Merged exposition over per-replica registries.
+
+    Each metric family appears once, every sample line gaining a
+    ``replica="<id>"`` label (prepended, so per-replica series stay
+    distinguishable). Used by
+    :meth:`repro.serving.metrics.FleetMetrics.prometheus_text`.
+    """
+    families: dict[str, list[str]] = {}
+    headers: dict[str, list[str]] = {}
+    for replica_id in sorted(registries):
+        for instrument in registries[replica_id].instruments():
+            exposed = instrument.expose()
+            name = instrument.name
+            headers.setdefault(name, exposed[:2])
+            body = families.setdefault(name, [])
+            for line in exposed[2:]:
+                metric, _, value = line.rpartition(" ")
+                if "{" in metric:
+                    head, rest = metric.split("{", 1)
+                    metric = f'{head}{{replica="{replica_id}",{rest}'
+                else:
+                    metric = f'{metric}{{replica="{replica_id}"}}'
+                body.append(f"{metric} {value}")
+    lines: list[str] = []
+    for name in sorted(families):
+        lines.extend(headers[name])
+        lines.extend(families[name])
+    return "\n".join(lines) + ("\n" if lines else "")

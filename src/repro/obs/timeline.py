@@ -1,0 +1,444 @@
+"""Per-request timeline reconstruction, TTFT attribution, reconciliation.
+
+Three consumers of a recorded event stream live here:
+
+- :func:`build_timeline` / :func:`explain_ttft` — reconstruct one
+  request's scheduling story and decompose its TTFT into an **exact
+  partition**: queue wait, prefill compute, swap stall, transfer stall,
+  fault backoff, and post-preemption requeue wait. Components sum to
+  the recorded TTFT *exactly* (the sweep partitions the window; the
+  queue-wait term is closed so the insertion-order sum telescopes back
+  to the window length).
+- :func:`format_explanation` — the human rendering behind
+  ``python -m repro explain REQ_ID --trace PATH``.
+- :func:`reconcile` / :func:`reconcile_fleet` — the trace-vs-metrics
+  cross-check: every counter and stall-second total in
+  :class:`~repro.serving.metrics.ServingMetrics` must be *exactly*
+  derivable from the trace (same floats, summed in emission order ==
+  record order). Any drift means a hook site and a ``record_*`` call
+  disagree — reported as a failure by ``serve --verify`` and pinned by
+  ``tests/properties/test_prop_trace.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.trace import TraceEvent
+
+#: TTFT claim categories, highest priority first: when intervals overlap
+#: (they shouldn't, but clipping can touch at borders), compute wins
+#: over stalls, stalls over backoff.
+_CLAIM_PRIORITY = ("prefill_compute", "swap_stall", "transfer_stall", "fault_backoff")
+
+_CLAIM_SOURCES = {
+    "prefill_chunk": "prefill_compute",
+    "swap_out": "swap_stall",
+    "swap_in": "swap_stall",
+    "transfer_stall": "transfer_stall",
+    "kv_transfer": "transfer_stall",
+}
+
+
+@dataclass
+class RequestTimeline:
+    """One request's events, keyed by the moments explain cares about."""
+
+    request_id: int
+    seq_id: int | None = None
+    replica: int | None = None
+    route: TraceEvent | None = None
+    admits: list[TraceEvent] = field(default_factory=list)
+    first_token: TraceEvent | None = None
+    finish: TraceEvent | None = None
+    shed: TraceEvent | None = None
+    preempts: list[TraceEvent] = field(default_factory=list)
+    events: list[TraceEvent] = field(default_factory=list)
+
+    @property
+    def arrival(self) -> float | None:
+        if self.admits:
+            return self.admits[0].attrs.get("arrival")
+        if self.route is not None:
+            return self.route.t
+        return None
+
+    @property
+    def status(self) -> str:
+        if self.finish is not None:
+            return "finished"
+        if self.shed is not None:
+            return str(self.shed.attrs.get("status", "shed"))
+        return "incomplete"
+
+
+@dataclass
+class TTFTBreakdown:
+    """Exact TTFT partition. ``components`` sums (in insertion order)
+    to ``ttft``; ``queue_wait`` is the closing term."""
+
+    request_id: int
+    arrival: float
+    first_token_at: float
+    components: dict[str, float]
+
+    @property
+    def ttft(self) -> float:
+        return self.first_token_at - self.arrival
+
+    @property
+    def total(self) -> float:
+        total = 0.0
+        for v in self.components.values():
+            total += v
+        return total
+
+
+def events_for_request(events: list[TraceEvent], request_id: int) -> list[TraceEvent]:
+    return [e for e in events if e.request_id == request_id]
+
+
+def request_ids(events: list[TraceEvent]) -> list[int]:
+    """Distinct request ids in first-seen order."""
+    seen: dict[int, None] = {}
+    for e in events:
+        if e.request_id is not None:
+            seen.setdefault(e.request_id, None)
+    return list(seen)
+
+
+def build_timeline(events: list[TraceEvent], request_id: int) -> RequestTimeline:
+    tl = RequestTimeline(request_id=request_id)
+    for e in events_for_request(events, request_id):
+        tl.events.append(e)
+        if tl.seq_id is None and e.seq_id is not None:
+            tl.seq_id = e.seq_id
+        if e.name == "route":
+            tl.route = e
+        elif e.name == "admit":
+            tl.admits.append(e)
+            if e.replica is not None:
+                tl.replica = e.replica
+        elif e.name == "first_token" and tl.first_token is None:
+            tl.first_token = e
+        elif e.name == "finish":
+            tl.finish = e
+        elif e.name == "shed":
+            tl.shed = e
+        elif e.name == "preempt":
+            tl.preempts.append(e)
+    if not tl.events:
+        raise ValueError(f"request {request_id} does not appear in the trace")
+    if tl.replica is None:
+        for e in tl.events:
+            if e.replica is not None:
+                tl.replica = e.replica
+                break
+    return tl
+
+
+def _claims_in_window(
+    tl: RequestTimeline, lo: float, hi: float
+) -> list[tuple[float, float, str]]:
+    claims: list[tuple[float, float, str]] = []
+    for e in tl.events:
+        category = None
+        if e.phase == "span" and e.name in _CLAIM_SOURCES:
+            start, end = e.t, e.t + e.dur
+            category = _CLAIM_SOURCES[e.name]
+        elif e.name == "fault_retry":
+            start, end = e.t, e.t + float(e.attrs.get("backoff", 0.0))
+            category = "fault_backoff"
+        if category is None:
+            continue
+        start, end = max(start, lo), min(end, hi)
+        if end > start:
+            claims.append((start, end, category))
+    return claims
+
+
+def explain_ttft(events: list[TraceEvent], request_id: int) -> TTFTBreakdown:
+    """Decompose a request's TTFT into an exact component partition.
+
+    Sweeps the ``[arrival, first_token]`` window over the request's
+    claim intervals (prefill chunks, swap/transfer stalls, retry
+    backoff); unclaimed time after the first preemption is requeue
+    wait, and the remaining unclaimed time — computed as the closing
+    difference so the component sum telescopes to TTFT exactly — is
+    queue wait.
+    """
+    tl = build_timeline(events, request_id)
+    arrival = tl.arrival
+    if arrival is None:
+        raise ValueError(f"request {request_id} was never admitted or routed")
+    if tl.first_token is None:
+        raise ValueError(
+            f"request {request_id} streamed no token (status: {tl.status})"
+        )
+    ft = tl.first_token.t
+    claims = _claims_in_window(tl, arrival, ft)
+    first_preempt = min((p.t for p in tl.preempts), default=None)
+
+    bounds: dict[float, None] = {arrival: None, ft: None}
+    for start, end, _ in claims:
+        bounds.setdefault(start, None)
+        bounds.setdefault(end, None)
+    if first_preempt is not None and arrival < first_preempt < ft:
+        bounds.setdefault(first_preempt, None)
+    cuts = sorted(bounds)
+
+    measured = {cat: 0.0 for cat in _CLAIM_PRIORITY}
+    measured["preempt_requeue"] = 0.0
+    for lo, hi in zip(cuts, cuts[1:]):
+        mid = (lo + hi) / 2.0
+        owner = None
+        for cat in _CLAIM_PRIORITY:
+            if any(s <= mid < e for s, e, c in claims if c == cat):
+                owner = cat
+                break
+        if owner is None:
+            if first_preempt is not None and mid >= first_preempt:
+                owner = "preempt_requeue"
+            else:
+                continue  # queue wait: folded into the closing term
+        measured[owner] += hi - lo
+
+    components: dict[str, float] = {}
+    partial = 0.0
+    for cat in (*_CLAIM_PRIORITY, "preempt_requeue"):
+        components[cat] = measured[cat]
+        partial += measured[cat]
+    components["queue_wait"] = (ft - arrival) - partial
+    return TTFTBreakdown(
+        request_id=request_id,
+        arrival=arrival,
+        first_token_at=ft,
+        components=components,
+    )
+
+
+_COMPONENT_LABELS = {
+    "queue_wait": "queue wait",
+    "prefill_compute": "prefill compute",
+    "swap_stall": "swap stall",
+    "transfer_stall": "transfer stall",
+    "fault_backoff": "fault backoff",
+    "preempt_requeue": "preempt requeue",
+}
+
+
+def format_explanation(events: list[TraceEvent], request_id: int) -> str:
+    """Human rendering for ``python -m repro explain``."""
+    tl = build_timeline(events, request_id)
+    lines = [f"request {request_id}" + (f" (seq {tl.seq_id})" if tl.seq_id is not None else "")]
+    if tl.route is not None:
+        policy = tl.route.attrs.get("policy", "?")
+        sticky = " [sticky session]" if tl.route.attrs.get("sticky") else ""
+        lines.append(
+            f"  routed to replica {tl.route.replica} by {policy} policy{sticky} "
+            f"at t={tl.route.t:.6f}"
+        )
+        scores = tl.route.attrs.get("scores")
+        if scores:
+            ranked = ", ".join(
+                f"r{rid}={score:.3f}" for rid, score in sorted(scores.items())
+            )
+            lines.append(f"    candidate scores: {ranked}")
+    elif tl.replica is not None:
+        lines.append(f"  replica {tl.replica}")
+    arrival = tl.arrival
+    if arrival is not None:
+        lines.append(f"  arrival t={arrival:.6f}")
+    for admit in tl.admits:
+        cached = admit.attrs.get("cached", 0)
+        cached_s = f", {cached} prefix tokens cached" if cached else ""
+        lines.append(f"  admitted t={admit.t:.6f}{cached_s}")
+    for p in tl.preempts:
+        lines.append(
+            f"  preempted t={p.t:.6f} "
+            f"(remedy={p.attrs.get('remedy', '?')}, reason={p.attrs.get('reason', '?')})"
+        )
+    if tl.first_token is not None and arrival is not None:
+        bd = explain_ttft(events, request_id)
+        lines.append(
+            f"  first token t={tl.first_token.t:.6f} — TTFT {bd.ttft:.6f}s, decomposed:"
+        )
+        ttft = bd.ttft
+        order = ("queue_wait", *_CLAIM_PRIORITY, "preempt_requeue")
+        for cat in order:
+            v = bd.components[cat]
+            if v == 0.0 and cat not in ("queue_wait", "prefill_compute"):
+                continue
+            pct = f" ({v / ttft:6.1%})" if ttft > 0 else ""
+            lines.append(f"    {_COMPONENT_LABELS[cat]:<16s} {v:12.6f}s{pct}")
+    if tl.finish is not None:
+        tokens = tl.finish.attrs.get("tokens", 0)
+        span = None
+        if tl.first_token is not None and tokens and tokens > 1:
+            span = (tl.finish.t - tl.first_token.t) / (tokens - 1)
+        tpot = f", mean TPOT {span:.6f}s" if span is not None else ""
+        lines.append(f"  finished t={tl.finish.t:.6f} — {tokens} tokens{tpot}")
+        if tl.first_token is not None:
+            stalls = _claims_in_window(tl, tl.first_token.t, tl.finish.t)
+            decode_stalls: dict[str, float] = {}
+            for start, end, cat in stalls:
+                decode_stalls[cat] = decode_stalls.get(cat, 0.0) + (end - start)
+            if decode_stalls:
+                detail = ", ".join(
+                    f"{_COMPONENT_LABELS[c]} {v:.6f}s"
+                    for c, v in sorted(decode_stalls.items())
+                )
+                lines.append(f"    decode-window stalls: {detail}")
+    elif tl.shed is not None:
+        lines.append(f"  shed t={tl.shed.t:.6f} ({tl.shed.attrs.get('status', 'shed')})")
+    elif tl.first_token is None:
+        lines.append(f"  no first token recorded (status: {tl.status})")
+    return "\n".join(lines)
+
+
+# --------------------------- reconciliation ----------------------------- #
+
+
+def _sum(values) -> float:
+    total = 0.0
+    for v in values:
+        total += v
+    return total
+
+
+def reconcile(events: list[TraceEvent], metrics) -> list[str]:
+    """Cross-check a trace against a :class:`ServingMetrics` instance.
+
+    Returns drift descriptions (empty == reconciled). Counts must match
+    exactly and stall/TTFT totals must match as *floats*: the trace
+    carries the same values the ``record_*`` calls saw, in the same
+    order, so running sums are bit-identical — there is no tolerance.
+    """
+    drift: list[str] = []
+
+    def check(label: str, derived, recorded) -> None:
+        if derived != recorded:
+            drift.append(f"{label}: trace-derived {derived!r} != metrics {recorded!r}")
+
+    by_name: dict[str, list[TraceEvent]] = {}
+    for e in events:
+        by_name.setdefault(e.name, []).append(e)
+
+    def named(name: str) -> list[TraceEvent]:
+        return by_name.get(name, [])
+
+    preempts = named("preempt")
+    full = [e for e in preempts if e.attrs.get("remedy") == "recompute"]
+    trims = [e for e in preempts if e.attrs.get("remedy") == "trim"]
+    check("preemptions", len(full), metrics.preemptions)
+    check("evicted_tokens", sum(e.attrs.get("evicted", 0) for e in full), metrics.evicted_tokens)
+    check("trims", len(trims), metrics.trims)
+    check("trimmed_kv_tokens", sum(e.attrs.get("tokens", 0) for e in trims), metrics.trimmed_kv_tokens)
+
+    swaps_out, swaps_in = named("swap_out"), named("swap_in")
+    check("swaps_out", len(swaps_out), metrics.swaps_out)
+    check("swaps_in", len(swaps_in), metrics.swaps_in)
+    check("swapped_out_tokens", sum(e.attrs.get("tokens", 0) for e in swaps_out), metrics.swapped_out_tokens)
+    check("swapped_in_tokens", sum(e.attrs.get("tokens", 0) for e in swaps_in), metrics.swapped_in_tokens)
+    check(
+        "swap_stall_s",
+        _sum(e.dur for e in events if e.name in ("swap_out", "swap_in")),
+        metrics.swap_stall_s,
+    )
+
+    transfers = named("kv_transfer")
+    check("transfers", len(transfers), metrics.transfers)
+    check("transferred_kv_tokens", sum(e.attrs.get("tokens", 0) for e in transfers), metrics.transferred_kv_tokens)
+    check("transfer_refusals", len(named("kv_transfer_refused")), metrics.transfer_refusals)
+    cancels = named("kv_transfer_cancel")
+    check("transfers_cancelled", len(cancels), metrics.transfers_cancelled)
+    check(
+        "transfers_refunded",
+        sum(1 for e in cancels if e.attrs.get("refunded")),
+        metrics.transfers_refunded,
+    )
+    check("transfer_stall_s", _sum(e.dur for e in named("transfer_stall")), metrics.transfer_stall_s)
+
+    hits = named("prefix_hit")
+    check("prefix_hits", len(hits), metrics.prefix_hits)
+    check("prefix_reused_tokens", sum(e.attrs.get("reused", 0) for e in hits), metrics.prefix_reused_tokens)
+    check("prefix_misses", len(named("prefix_miss")), metrics.prefix_misses)
+    evicts = named("prefix_evict")
+    check("prefix_evictions", len(evicts), metrics.prefix_evictions)
+    check("prefix_evicted_tokens", sum(e.attrs.get("tokens", 0) for e in evicts), metrics.prefix_evicted_tokens)
+
+    injects = named("fault_inject")
+    check("transfer_faults", sum(1 for e in injects if e.attrs.get("kind") == "transfer"), metrics.transfer_faults)
+    check("swap_losses", sum(1 for e in injects if e.attrs.get("kind") == "swap"), metrics.swap_losses)
+    resets = [e for e in injects if e.attrs.get("kind") == "pool_reset"]
+    check("pool_resets", len(resets), metrics.pool_resets)
+    check("pool_reset_evicted_tokens", sum(e.attrs.get("tokens", 0) for e in resets), metrics.pool_reset_evicted_tokens)
+    retries = named("fault_retry")
+    check("fault_retries", len(retries), metrics.fault_retries)
+    check("fault_backoff_s", _sum(e.attrs.get("backoff", 0.0) for e in retries), metrics.fault_backoff_s)
+    fallbacks = named("fault_fallback")
+    check("degraded_fallbacks", len(fallbacks), metrics.degraded_fallbacks)
+    check(
+        "swap_lost_tokens",
+        sum(e.attrs.get("tokens", 0) for e in fallbacks if e.attrs.get("reason") == "swap_loss"),
+        metrics.swap_lost_tokens,
+    )
+
+    sheds = named("shed")
+    check("timeouts", sum(1 for e in sheds if e.attrs.get("status") == "timed_out"), metrics.timeouts)
+    check("sheds", sum(1 for e in sheds if e.attrs.get("status") == "shed"), metrics.sheds)
+
+    finishes = named("finish")
+    check("completed_requests", len(finishes), metrics.completed_requests)
+    check(
+        "ttft_samples",
+        [e.attrs["ttft"] for e in finishes if "ttft" in e.attrs],
+        list(metrics.ttft_samples),
+    )
+    check(
+        "ttft_warm_samples",
+        [e.attrs["ttft"] for e in finishes if e.attrs.get("warm") is True],
+        list(metrics.ttft_warm_samples),
+    )
+    check(
+        "ttft_cold_samples",
+        [e.attrs["ttft"] for e in finishes if e.attrs.get("warm") is False],
+        list(metrics.ttft_cold_samples),
+    )
+    check(
+        "ttit_sample_count",
+        sum(e.attrs.get("gaps", 0) for e in finishes),
+        len(metrics.ttit_samples),
+    )
+
+    rounds = metrics.pool_rounds
+    busy = metrics.pool_busy_s
+    for pool, name in (("prefill", "prefill_round"), ("decode", "decode_round")):
+        pool_rounds = named(name)
+        check(f"pool_rounds[{pool}]", len(pool_rounds), rounds.get(pool, 0))
+        check(f"pool_busy_s[{pool}]", _sum(e.dur for e in pool_rounds), busy.get(pool, 0.0))
+
+    return drift
+
+
+def reconcile_fleet(events: list[TraceEvent], fleet_metrics) -> list[str]:
+    """Per-replica reconciliation against a :class:`FleetMetrics`.
+
+    Routing instants are fleet-level (not any replica's schedule) and
+    are excluded; every other event must carry its replica label.
+    """
+    drift: list[str] = []
+    runtime_events = [e for e in events if e.name != "route"]
+    unlabeled = sum(1 for e in runtime_events if e.replica is None)
+    if unlabeled:
+        drift.append(f"fleet trace has {unlabeled} events without a replica label")
+    for rid in sorted(fleet_metrics.replicas):
+        sub = [e for e in runtime_events if e.replica == rid]
+        drift.extend(
+            f"replica {rid}: {d}" for d in reconcile(sub, fleet_metrics.replicas[rid])
+        )
+    known = set(fleet_metrics.replicas)
+    stray = sorted({e.replica for e in runtime_events} - known - {None})
+    if stray:
+        drift.append(f"trace carries events for unknown replicas {stray}")
+    return drift

@@ -200,12 +200,26 @@ class FaultInjector:
         pools: pool names eligible for resets (the runtime passes
             ``("prefill", "decode")`` when disaggregated, ``("prefill",)``
             colocated — the single aliased pool).
+        tracer: optional :class:`repro.obs.trace.Tracer`; every injected
+            verdict (a ``True`` from :meth:`transfer_fails` /
+            :meth:`swap_lost`) emits a ``fault_inject`` instant at the
+            simulated time the caller passes via ``now``. Pool resets
+            are emitted by the runtime, which knows the evicted tokens.
     """
 
-    def __init__(self, plan: FaultPlan, *, pools: tuple[str, ...] = ("prefill",)):
+    def __init__(
+        self,
+        plan: FaultPlan,
+        *,
+        pools: tuple[str, ...] = ("prefill",),
+        tracer=None,
+    ):
+        from repro.obs.trace import NULL_TRACER
+
         if not pools:
             raise ValueError("at least one pool name is required")
         self.plan = plan
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._transfer_faults: dict[int, int] = {}
         self._swap_losses: dict[int, int] = {}
         # the reset schedule is pre-drawn so it never depends on which
@@ -227,13 +241,14 @@ class FaultInjector:
 
     # ------------------------------------------------------------------ #
 
-    def transfer_fails(self, seq_id: int, request_id: int) -> bool:
+    def transfer_fails(self, seq_id: int, request_id: int, *, now: float = 0.0) -> bool:
         """Whether this landing attempt of ``request_id``'s transfer dies.
 
         Budgeted: at most ``max_transfer_retries + 1`` faults per request
         (the retries plus the one that triggers re-prefill fallback);
         past that the request's transfers always land, so the run drains.
-        A ``True`` advances the request's fault counter.
+        A ``True`` advances the request's fault counter (and emits a
+        ``fault_inject`` trace instant at simulated time ``now``).
         """
         used = self._transfer_faults.get(request_id, 0)
         if used > self.plan.max_transfer_retries:
@@ -241,13 +256,22 @@ class FaultInjector:
         if self._draw(_KIND_TRANSFER, seq_id, request_id, used) >= self.plan.transfer_fail_rate:
             return False
         self._transfer_faults[request_id] = used + 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "fault_inject",
+                now,
+                request_id=request_id,
+                seq_id=seq_id,
+                kind="transfer",
+                attempt=used + 1,
+            )
         return True
 
     def transfer_faults_injected(self, request_id: int) -> int:
         """Faults injected so far for ``request_id`` (the attempt index)."""
         return self._transfer_faults.get(request_id, 0)
 
-    def swap_lost(self, seq_id: int, request_id: int) -> bool:
+    def swap_lost(self, seq_id: int, request_id: int, *, now: float = 0.0) -> bool:
         """Whether ``request_id``'s host-stored payload is gone at
         swap-in time. Budgeted at ``_MAX_SWAP_LOSSES`` per request."""
         used = self._swap_losses.get(request_id, 0)
@@ -256,6 +280,15 @@ class FaultInjector:
         if self._draw(_KIND_SWAP, seq_id, request_id, used) >= self.plan.swap_loss_rate:
             return False
         self._swap_losses[request_id] = used + 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "fault_inject",
+                now,
+                request_id=request_id,
+                seq_id=seq_id,
+                kind="swap",
+                attempt=used + 1,
+            )
         return True
 
     def pool_resets_due(self, completed_rounds: int) -> list[str]:

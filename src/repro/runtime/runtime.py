@@ -125,6 +125,7 @@ import numpy as np
 from repro.core.engine import ContextParallelEngine
 from repro.core.sharding import SequenceSpec
 from repro.model.sampling import sample_greedy
+from repro.obs.trace import NULL_TRACER
 from repro.runtime.clock import UnitStepClock
 from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.state import RequestRecord, RequestState, TurnRequest
@@ -270,6 +271,11 @@ class ContinuousBatchingRuntime:
             first double-free / use-after-free / refcount underflow /
             COW violation, and :meth:`run` checks for undrained leaks
             after the queue empties.
+        tracer: a :class:`repro.obs.trace.Tracer` receiving structured
+            scheduling events (admissions, rounds, transfers, swaps,
+            preemptions, faults, completions) at simulated timestamps.
+            Defaults to the zero-overhead null tracer; a fleet passes
+            each replica a ``tracer.scoped(replica=i)`` view.
     """
 
     def __init__(
@@ -286,6 +292,7 @@ class ContinuousBatchingRuntime:
         prefix_cache: bool = False,
         faults: FaultPlan | None = None,
         sanitize: bool = False,
+        tracer=None,
     ):
         if max_prefill_rounds_per_decode < 1:
             raise ValueError(
@@ -316,8 +323,13 @@ class ContinuousBatchingRuntime:
             chunk_tokens=512, max_tokens_per_round=2048, max_seqs_per_round=8
         )
         self.clock = clock if clock is not None else UnitStepClock()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.transfer_stream = (
-            (transfer_stream if transfer_stream is not None else KVTransferStream(self.clock))
+            (
+                transfer_stream
+                if transfer_stream is not None
+                else KVTransferStream(self.clock, tracer=self.tracer.scoped(pool="wire"))
+            )
             if self.disaggregated
             else None
         )
@@ -331,6 +343,7 @@ class ContinuousBatchingRuntime:
                 pools=(POOL_PREFILL, POOL_DECODE)
                 if self.disaggregated
                 else (POOL_PREFILL,),
+                tracer=self.tracer,
             )
             if faults is not None and faults.active
             else None
@@ -588,6 +601,15 @@ class ContinuousBatchingRuntime:
         stall = nxt.finish - max(self._t_decode, nxt.start)
         if stall > 0:
             self.metrics.record_transfer_stall(stall)
+            if self.tracer.enabled:
+                self.tracer.span(
+                    "transfer_stall",
+                    max(self._t_decode, nxt.start),
+                    stall,
+                    pool=POOL_DECODE,
+                    request_id=nxt.request_id,
+                    seq_id=nxt.seq_id,
+                )
         self._t_decode = nxt.finish
         return True
 
@@ -646,6 +668,15 @@ class ContinuousBatchingRuntime:
             rec.state = RequestState.PREFILL
             rec.ready_at = max(rec.ready_at, rec.request.arrival)
             rec.admitted_at = max(self._t_prefill, rec.ready_at)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "admit",
+                    rec.admitted_at,
+                    request_id=rec.request_id,
+                    seq_id=seq_id,
+                    pool=POOL_PREFILL,
+                    arrival=rec.request.arrival,
+                )
             if self.disaggregated:
                 # conversations reside in the decode pool; the prefill pool
                 # recomputes the full committed history each turn and ships
@@ -745,6 +776,14 @@ class ContinuousBatchingRuntime:
             self.engine.evict(seq_id)
             self._holders_prefill.discard(seq_id)
             self.metrics.record_prefix_eviction(tokens)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "prefix_evict",
+                    self._t_prefill,
+                    pool=POOL_PREFILL,
+                    seq_id=seq_id,
+                    tokens=tokens,
+                )
 
     def _match_shared_prefix(self, rec: RequestRecord) -> None:
         """Adopt the longest indexed prefix of ``rec``'s pending input.
@@ -765,6 +804,14 @@ class ContinuousBatchingRuntime:
             rec.prefix_eligible = True
         if matched < 1 or donor is None:
             self.metrics.record_prefix_miss()
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "prefix_miss",
+                    self._t_prefill,
+                    pool=POOL_PREFILL,
+                    request_id=rec.request_id,
+                    seq_id=rec.seq_id,
+                )
             return
         self.engine.adopt_prefix(rec.seq_id, donor, matched)
         self._holders_prefill.add(rec.seq_id)
@@ -776,6 +823,25 @@ class ContinuousBatchingRuntime:
         if not self.disaggregated:
             rec.cached_at_start = matched
         self.metrics.record_prefix_hit(matched)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "prefix_hit",
+                self._t_prefill,
+                pool=POOL_PREFILL,
+                request_id=rec.request_id,
+                seq_id=rec.seq_id,
+                reused=matched,
+                donor=donor,
+            )
+            self.tracer.instant(
+                "prefix_adopt",
+                self._t_prefill,
+                pool=POOL_PREFILL,
+                request_id=rec.request_id,
+                seq_id=rec.seq_id,
+                donor=donor,
+                tokens=matched,
+            )
 
     # ------------------------------------------------------------------ #
     # prefill rounds
@@ -819,10 +885,31 @@ class ContinuousBatchingRuntime:
 
         out = self.engine.prefill(prompts)
         price = self.clock.price_prefill(chunk_tp)
+        round_start = self._t_prefill
         self._t_prefill += price
         if not self.disaggregated:
             self._t_decode = self._t_prefill
         self.metrics.record_round(POOL_PREFILL, price)
+        if self.tracer.enabled:
+            self.tracer.span(
+                "prefill_round",
+                round_start,
+                price,
+                pool=POOL_PREFILL,
+                algo=out.plan.algo.value,
+                tokens=sum(c.tokens for c in round_),
+                seqs=len(round_),
+            )
+            for chunk in round_:
+                self.tracer.span(
+                    "prefill_chunk",
+                    round_start,
+                    price,
+                    pool=POOL_PREFILL,
+                    request_id=by_seq[chunk.seq_id].request_id,
+                    seq_id=chunk.seq_id,
+                    tokens=chunk.tokens,
+                )
         self.prefill_rounds += 1
         self._holders_prefill.update(prompts)
         self._note_kv_occupancy(POOL_PREFILL)
@@ -856,6 +943,14 @@ class ContinuousBatchingRuntime:
             rec.token_times.append(t)
             if rec.first_token_at is None:
                 rec.first_token_at = t
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "first_token",
+                        t,
+                        request_id=rec.request_id,
+                        seq_id=rec.seq_id,
+                        ttft=rec.ttft,
+                    )
         # post-preemption resume keeps its already-sampled pending token —
         # the re-prefill logits would reproduce it exactly
         rec.resample_on_prefill = True
@@ -899,7 +994,9 @@ class ContinuousBatchingRuntime:
                 younger_than=tail_key,
             )
             if victim is not None:
-                self._evict(victim, pool=POOL_PREFILL, at=self._t_prefill)
+                self._evict(
+                    victim, pool=POOL_PREFILL, at=self._t_prefill, reason="prefill_fit"
+                )
                 continue
             if len(round_) > 1:
                 # drop the youngest member by FCFS key — under SRPF
@@ -968,7 +1065,9 @@ class ContinuousBatchingRuntime:
             if (
                 self._injector is not None
                 and transfer.tokens > 0
-                and self._injector.transfer_fails(sid, transfer.request_id)
+                and self._injector.transfer_fails(
+                    sid, transfer.request_id, now=self._t_decode
+                )
             ):
                 # mid-stream failure: the payload dies at landing time, so
                 # every wire second it streamed is sunk (cancel at >= finish
@@ -982,13 +1081,30 @@ class ContinuousBatchingRuntime:
                 if attempt <= self.faults.max_transfer_retries:
                     delay = self.faults.backoff(attempt)
                     self.metrics.record_transfer_fault(retried=True, backoff_s=delay)
+                    if self.tracer.enabled:
+                        self.tracer.instant(
+                            "fault_retry",
+                            self._t_decode,
+                            request_id=rec.request_id,
+                            seq_id=sid,
+                            attempt=attempt,
+                            backoff=delay,
+                        )
                     self.transfer_stream.schedule(
                         sid, transfer.request_id, tokens, self._t_decode + delay
                     )
                 else:
                     self.metrics.record_transfer_fault(retried=False)
                     self.metrics.record_degraded_fallback()
-                    self._preempt_record(rec, at=self._t_decode)
+                    if self.tracer.enabled:
+                        self.tracer.instant(
+                            "fault_fallback",
+                            self._t_decode,
+                            request_id=rec.request_id,
+                            seq_id=sid,
+                            reason="transfer",
+                        )
+                    self._preempt_record(rec, at=self._t_decode, reason="fault_fallback")
                 landed = True
                 continue
             demand = self.decode_engine.import_token_demand(sid, tokens)
@@ -1003,9 +1119,19 @@ class ContinuousBatchingRuntime:
                     if not transfer.refused:
                         transfer.refused = True
                         self.metrics.record_transfer_refusal()
+                        if self.tracer.enabled:
+                            self.tracer.instant(
+                                "kv_transfer_refused",
+                                self._t_decode,
+                                pool=POOL_DECODE,
+                                request_id=rec.request_id,
+                                seq_id=sid,
+                            )
                     admitted = False
                     break
-                self._evict(victim, pool=POOL_DECODE, at=self._t_decode)
+                self._evict(
+                    victim, pool=POOL_DECODE, at=self._t_decode, reason="transfer_admission"
+                )
             if not admitted:
                 continue
             export = self.engine.export_kv(sid, start_pos=start_pos)
@@ -1023,6 +1149,17 @@ class ContinuousBatchingRuntime:
             self._holders_decode.add(sid)
             self.transfer_stream.complete(transfer)
             self.metrics.record_transfer(tokens)
+            if self.tracer.enabled:
+                self.tracer.span(
+                    "kv_transfer",
+                    transfer.start,
+                    transfer.finish - transfer.start,
+                    pool="wire",
+                    request_id=rec.request_id,
+                    seq_id=sid,
+                    tokens=tokens,
+                    landed_at=self._t_decode,
+                )
             self._note_kv_occupancy(POOL_DECODE)
             rec.state = RequestState.DECODE
             self._decoding.add(rec.request_id)
@@ -1064,7 +1201,7 @@ class ContinuousBatchingRuntime:
                         "cannot fit its next token and no older request is "
                         "waiting for the space"
                     )
-            self._evict(victim, pool=POOL_DECODE, at=self._t_decode)
+            self._evict(victim, pool=POOL_DECODE, at=self._t_decode, reason="decode_fit")
             if isinstance(victim, RequestRecord) and victim in live:
                 live.remove(victim)
         if not live:
@@ -1074,10 +1211,15 @@ class ContinuousBatchingRuntime:
         tokens = {r.seq_id: r.generated[-1] for r in live}
         out = self.decode_engine.decode(tokens)
         price = self.clock.price_decode(contexts)
+        round_start = self._t_decode
         self._t_decode += price
         if not self.disaggregated:
             self._t_prefill = self._t_decode
         self.metrics.record_round(POOL_DECODE, price)
+        if self.tracer.enabled:
+            self.tracer.span(
+                "decode_round", round_start, price, pool=POOL_DECODE, seqs=len(live)
+            )
         self.decode_rounds += 1
         self._note_kv_occupancy(POOL_DECODE)
 
@@ -1086,6 +1228,13 @@ class ContinuousBatchingRuntime:
                 token = int(sample_greedy(out.logits[rec.seq_id]))
                 rec.generated.append(token)
                 rec.token_times.append(self._t_decode)
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "decode_token",
+                        self._t_decode,
+                        request_id=rec.request_id,
+                        seq_id=rec.seq_id,
+                    )
             else:
                 # the round just committed the final token's KV
                 self._finish_turn(rec, at=self._t_decode)
@@ -1100,7 +1249,7 @@ class ContinuousBatchingRuntime:
         if rec.state not in _ACTIVE_STATES:
             raise ValueError(f"request {request_id} is {rec.state.value}, not preemptible")
         at = self._t_decode if rec.state is RequestState.DECODE else self._t_prefill
-        self._evict(rec, pool=self._pool_of(rec), at=at)
+        self._evict(rec, pool=self._pool_of(rec), at=at, reason="external")
 
     def _find_victim(
         self,
@@ -1178,10 +1327,13 @@ class ContinuousBatchingRuntime:
             return min(sessions)
         return min(idle_free, key=lambda s: (self.prefix_index.last_used(s), s))
 
-    def _evict(self, victim, *, pool: str, at: float) -> None:
+    def _evict(self, victim, *, pool: str, at: float, reason: str = "capacity") -> None:
         """Apply the configured remedy to an idle conversation (``int``
         seq id) or an active request. Trim and swap fall back to full
-        eviction when they cannot apply."""
+        eviction when they cannot apply. ``reason`` names the pressure
+        source for the trace (``prefill_fit``, ``decode_fit``,
+        ``transfer_admission``, ``swap_in_admission``, ``external``,
+        ``fault_fallback``, ``pool_reset``)."""
         if not isinstance(victim, RequestRecord) and victim not in self._chains:
             # a finished conversation's cached prefix resident: there is
             # no request to remedy, so LRU-drop it whole — the allocator's
@@ -1192,19 +1344,40 @@ class ContinuousBatchingRuntime:
             engine.evict(victim)
             self._pool_holders(pool).discard(victim)
             self.metrics.record_prefix_eviction(tokens)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "prefix_evict", at, pool=pool, seq_id=victim, tokens=tokens
+                )
             return
-        if self.preemption == "trim" and self._try_trim(victim, pool=pool, at=at):
+        if self.preemption == "trim" and self._try_trim(
+            victim, pool=pool, at=at, reason=reason
+        ):
             return
-        if self.preemption == "swap" and self._try_swap_out(victim, pool=pool, at=at):
+        if self.preemption == "swap" and self._try_swap_out(
+            victim, pool=pool, at=at, reason=reason
+        ):
             return
         if isinstance(victim, RequestRecord):
-            self._preempt_record(victim, at=at)
+            self._preempt_record(victim, at=at, reason=reason)
             return
         freed = self._pool_engine(pool).evict(victim)
         self._pool_holders(pool).discard(victim)
         self.metrics.record_preemption(freed)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "preempt",
+                at,
+                pool=pool,
+                seq_id=victim,
+                remedy="recompute",
+                reason=reason,
+                victim="idle",
+                evicted=freed,
+            )
 
-    def _preempt_record(self, rec: RequestRecord, *, at: float) -> None:
+    def _preempt_record(
+        self, rec: RequestRecord, *, at: float, reason: str = "capacity"
+    ) -> None:
         """Full eviction of an active request (recompute on resume)."""
         pool = self._pool_of(rec)
         if rec.state is RequestState.KV_TRANSFER:
@@ -1213,7 +1386,17 @@ class ContinuousBatchingRuntime:
             # and transfers behind it re-pack
             cancelled = self.transfer_stream.cancel(rec.seq_id, now=at)
             if cancelled is not None:
-                self.metrics.record_transfer_cancel(refunded=cancelled.sunk_s <= 0.0)
+                refunded = cancelled.sunk_s <= 0.0
+                self.metrics.record_transfer_cancel(refunded=refunded)
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "kv_transfer_cancel",
+                        at,
+                        pool="wire",
+                        request_id=rec.request_id,
+                        seq_id=rec.seq_id,
+                        refunded=refunded,
+                    )
         freed = self._pool_engine(pool).evict(rec.seq_id)
         self._pool_holders(pool).discard(rec.seq_id)
         if not self.disaggregated or pool == POOL_PREFILL:
@@ -1231,6 +1414,18 @@ class ContinuousBatchingRuntime:
                 if not self.disaggregated:
                     rec.cached_at_start = 0
         self.metrics.record_preemption(freed)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "preempt",
+                at,
+                pool=pool,
+                request_id=rec.request_id,
+                seq_id=rec.seq_id,
+                remedy="recompute",
+                reason=reason,
+                victim="active",
+                evicted=freed,
+            )
         self._reschedule_preempted(rec, at=at)
 
     def _reschedule_preempted(self, rec: RequestRecord, *, at: float) -> None:
@@ -1280,7 +1475,9 @@ class ContinuousBatchingRuntime:
     # preemption remedies: tail-trim and CPU-side KV swap
     # ------------------------------------------------------------------ #
 
-    def _try_trim(self, victim, *, pool: str, at: float) -> bool:
+    def _try_trim(
+        self, victim, *, pool: str, at: float, reason: str = "capacity"
+    ) -> bool:
         """Tail-trim remedy: drop the newest KV blocks of the victim.
 
         The resident prefix survives, so resume re-prefills only the
@@ -1315,6 +1512,18 @@ class ContinuousBatchingRuntime:
             return False
         freed = engine.evict_tail(seq_id, keep)
         self.metrics.record_trim(freed)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "preempt",
+                at,
+                pool=pool,
+                request_id=rec.request_id if rec is not None else None,
+                seq_id=seq_id,
+                remedy="trim",
+                reason=reason,
+                victim="active" if rec is not None else "idle",
+                tokens=freed,
+            )
         self._note_kv_occupancy(pool)
         if rec is not None:
             self._reschedule_preempted(rec, at=at)
@@ -1337,7 +1546,9 @@ class ContinuousBatchingRuntime:
         if not self.disaggregated:
             self._t_prefill = self._t_decode = max(self._t_prefill, self._t_decode)
 
-    def _try_swap_out(self, victim, *, pool: str, at: float) -> bool:
+    def _try_swap_out(
+        self, victim, *, pool: str, at: float, reason: str = "capacity"
+    ) -> bool:
         """Swap remedy: export the victim's KV whole to the host store.
 
         The evicting pool stalls for ``price_swap(tokens)`` (PCIe DMA);
@@ -1371,8 +1582,30 @@ class ContinuousBatchingRuntime:
         self._swap_store[store_pool][seq_id] = export
         self._swap_used[store_pool] += tokens
         cost = self.clock.price_swap(tokens)
+        swap_start = self._pool_time(pool)
         self._advance_pool_clock(pool, cost)
         self.metrics.record_swap_out(tokens, stall_s=cost)
+        if self.tracer.enabled:
+            self.tracer.span(
+                "swap_out",
+                swap_start,
+                cost,
+                pool=pool,
+                request_id=rec.request_id if rec is not None else None,
+                seq_id=seq_id,
+                tokens=tokens,
+            )
+            self.tracer.instant(
+                "preempt",
+                at,
+                pool=pool,
+                request_id=rec.request_id if rec is not None else None,
+                seq_id=seq_id,
+                remedy="swap",
+                reason=reason,
+                victim="active" if rec is not None else "idle",
+                tokens=tokens,
+            )
         if rec is not None:
             rec.preemptions += 1
             rec.swapped_from = (
@@ -1403,13 +1636,25 @@ class ContinuousBatchingRuntime:
             rec = self._records[rid]
             if rec.ready_at > self._pool_time(pool):
                 continue
-            if self._injector is not None and self._injector.swap_lost(rec.seq_id, rid):
+            if self._injector is not None and self._injector.swap_lost(
+                rec.seq_id, rid, now=self._pool_time(pool)
+            ):
                 # the host-store payload is gone at swap-in time: degrade
                 # to the recompute path a capacity-blocked swap-in already
                 # takes (drop the store entry, re-prefill committed history)
                 tokens = self._swap_store[self._store_pool(pool)][rec.seq_id].tokens
                 self.metrics.record_swap_loss(tokens)
                 self.metrics.record_degraded_fallback()
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "fault_fallback",
+                        self._pool_time(pool),
+                        pool=pool,
+                        request_id=rid,
+                        seq_id=rec.seq_id,
+                        reason="swap_loss",
+                        tokens=tokens,
+                    )
                 self._spill_swapped(entry)
                 progressed = True
                 continue
@@ -1426,7 +1671,12 @@ class ContinuousBatchingRuntime:
                 if victim is None:
                     admitted = False
                     break
-                self._evict(victim, pool=pool, at=self._pool_time(pool))
+                self._evict(
+                    victim,
+                    pool=pool,
+                    at=self._pool_time(pool),
+                    reason="swap_in_admission",
+                )
             if not admitted:
                 if not self._pool_holders(pool):
                     self._spill_swapped(entry)
@@ -1438,8 +1688,19 @@ class ContinuousBatchingRuntime:
             self._pool_holders(pool).add(rec.seq_id)
             self._swap_wait.remove(entry)
             cost = self.clock.price_swap(export.tokens)
+            swap_start = self._pool_time(pool)
             self._advance_pool_clock(pool, cost)
             self.metrics.record_swap_in(export.tokens, stall_s=cost)
+            if self.tracer.enabled:
+                self.tracer.span(
+                    "swap_in",
+                    swap_start,
+                    cost,
+                    pool=pool,
+                    request_id=rid,
+                    seq_id=rec.seq_id,
+                    tokens=export.tokens,
+                )
             self._note_kv_occupancy(pool)
             rec.ready_at = max(rec.ready_at, self._pool_time(pool))
             resume, rec.swapped_from = rec.swapped_from, None
@@ -1516,9 +1777,17 @@ class ContinuousBatchingRuntime:
         """
         engine = self._pool_engine(pool)
         holders = sorted(self._pool_holders(pool))
-        self.metrics.record_pool_reset(
-            sum(engine.context_length(sid) for sid in holders)
-        )
+        resident_tokens = sum(engine.context_length(sid) for sid in holders)
+        self.metrics.record_pool_reset(resident_tokens)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "fault_inject",
+                at,
+                pool=pool,
+                kind="pool_reset",
+                tokens=resident_tokens,
+                holders=len(holders),
+            )
         for seq_id in holders:
             chain = self._chains.get(seq_id)
             head = self._records[chain[0]] if chain else None
@@ -1530,13 +1799,17 @@ class ContinuousBatchingRuntime:
                 or (head.state is RequestState.PREEMPTED and pool == POOL_PREFILL)
             )
             if preempt:
-                self._preempt_record(head, at=at)
+                self._preempt_record(head, at=at, reason="pool_reset")
                 continue
             tokens = engine.context_length(seq_id)
             if tokens:
                 engine.evict(seq_id)
                 if head is None and self.prefix_index is not None:
                     self.metrics.record_prefix_eviction(tokens)
+                    if self.tracer.enabled:
+                        self.tracer.instant(
+                            "prefix_evict", at, pool=pool, seq_id=seq_id, tokens=tokens
+                        )
             self._pool_holders(pool).discard(seq_id)
 
     def _shed_chain(self, rec: RequestRecord, *, status: RequestState, at: float) -> None:
@@ -1574,7 +1847,17 @@ class ContinuousBatchingRuntime:
         if rec.state is RequestState.KV_TRANSFER:
             cancelled = self.transfer_stream.cancel(rec.seq_id, now=at)
             if cancelled is not None:
-                self.metrics.record_transfer_cancel(refunded=cancelled.sunk_s <= 0.0)
+                refunded = cancelled.sunk_s <= 0.0
+                self.metrics.record_transfer_cancel(refunded=refunded)
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "kv_transfer_cancel",
+                        at,
+                        pool="wire",
+                        request_id=rec.request_id,
+                        seq_id=rec.seq_id,
+                        refunded=refunded,
+                    )
         if rec.state is RequestState.SWAPPED:
             self._swap_wait = [e for e in self._swap_wait if e[1] != rec.request_id]
         self._dequeue_prefill(rec)
@@ -1589,6 +1872,14 @@ class ContinuousBatchingRuntime:
             self.metrics.record_timeout()
         else:
             self.metrics.record_shed()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "shed",
+                at,
+                request_id=rec.request_id,
+                seq_id=rec.seq_id,
+                status=status.value,
+            )
 
     # ------------------------------------------------------------------ #
     # completion
@@ -1630,6 +1921,20 @@ class ContinuousBatchingRuntime:
             self.metrics.record_ttft_split(rec.ttft, warm=rec.prefix_hit)
         for gap in rec.ttit_samples():
             self.metrics.record_ttit(gap)
+        if self.tracer.enabled:
+            fields: dict = {
+                "status": "finished",
+                "arrival": rec.request.arrival,
+                "tokens": len(rec.generated),
+                "gaps": max(0, len(rec.token_times) - 1),
+            }
+            if rec.first_token_at is not None:
+                fields["ttft"] = rec.ttft
+                if rec.prefix_eligible:
+                    fields["warm"] = rec.prefix_hit
+            self.tracer.instant(
+                "finish", at, request_id=rec.request_id, seq_id=seq_id, **fields
+            )
         if rec.request.last_turn and not chain:
             # conversation over: prune per-seq state (a later submit for
             # the same seq_id starts a fresh conversation)

@@ -88,10 +88,17 @@ class KVTransferStream:
         clock: any runtime step clock exposing ``price_transfer(tokens)``
             (:class:`repro.runtime.clock.UnitStepClock` or
             :class:`repro.runtime.clock.SimulatedStepClock`).
+        tracer: optional :class:`repro.obs.trace.Tracer` receiving
+            ``kv_transfer_schedule``/``kv_transfer_extend`` instants for
+            the wire's scheduling decisions (landings and cancels are
+            emitted by the runtime, which owns their accounting).
     """
 
-    def __init__(self, clock):
+    def __init__(self, clock, *, tracer=None):
+        from repro.obs.trace import NULL_TRACER
+
         self.clock = clock
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.busy_until = 0.0
         self.busy_s = 0.0
         self._in_flight: list[Transfer] = []
@@ -124,6 +131,16 @@ class KVTransferStream:
         self.busy_until = transfer.finish
         self.busy_s += duration
         self._in_flight.append(transfer)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "kv_transfer_schedule",
+                now,
+                request_id=request_id,
+                seq_id=seq_id,
+                tokens=tokens,
+                start=start,
+                finish=transfer.finish,
+            )
         return transfer
 
     def ready(self, now: float) -> list[Transfer]:
@@ -157,6 +174,15 @@ class KVTransferStream:
         transfer.refused = False
         self.busy_until = max(self.busy_until, transfer.finish)
         self.busy_s += duration
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "kv_transfer_extend",
+                now,
+                request_id=transfer.request_id,
+                seq_id=transfer.seq_id,
+                tokens=extra_tokens,
+                finish=transfer.finish,
+            )
 
     def complete(self, transfer: Transfer) -> None:
         """Mark a landed transfer done (the runtime imported its payload).

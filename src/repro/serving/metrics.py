@@ -1,4 +1,18 @@
-"""Serving metrics aggregation (TTFT / TTIT / cache hit rates)."""
+"""Serving metrics aggregation (TTFT / TTIT / cache hit rates).
+
+Since the observability layer (PR 10) these aggregates are *re-based* on
+:class:`repro.obs.registry.MetricsRegistry`: every scalar counter, pool
+label, and latency population is a registered instrument, so a runtime's
+whole metric surface exposes as Prometheus text
+(:meth:`ServingMetrics.prometheus_text` /
+:meth:`FleetMetrics.prometheus_text`, the latter adding a ``replica``
+label per series). The public API is unchanged — the attributes below
+are now read-only properties over the registry (the ``record_*`` methods
+remain the only writers), and list-valued attributes
+(``ttft_samples``...) alias the backing histograms' own sample lists, so
+existing readers and the trace-reconciliation property see exactly the
+values the exposition reports.
+"""
 
 from __future__ import annotations
 
@@ -6,12 +20,59 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.registry import MetricsRegistry, prometheus_text_multi
 from repro.serving.request import TurnRecord
 
+#: Integer event counters: attribute -> (metric name, help).
+_INT_COUNTERS = {
+    "preemptions": ("repro_preemptions_total", "Full KV evictions under capacity pressure"),
+    "evicted_tokens": ("repro_preempt_evicted_kv_tokens_total", "KV tokens dropped by full evictions"),
+    "trims": ("repro_trims_total", "Tail-trim preemption remedies applied"),
+    "trimmed_kv_tokens": ("repro_trimmed_kv_tokens_total", "KV tokens dropped by tail-trims"),
+    "swaps_out": ("repro_swaps_out_total", "Device-to-host KV swap-outs"),
+    "swaps_in": ("repro_swaps_in_total", "Host-to-device KV swap-ins"),
+    "swapped_out_tokens": ("repro_swapped_out_kv_tokens_total", "KV tokens swapped out to the host store"),
+    "swapped_in_tokens": ("repro_swapped_in_kv_tokens_total", "KV tokens swapped back from the host store"),
+    "transfers": ("repro_kv_transfers_total", "Landed prefill-to-decode KV transfers"),
+    "transferred_kv_tokens": ("repro_transferred_kv_tokens_total", "KV tokens landed over the transfer wire"),
+    "transfer_refusals": ("repro_kv_transfer_refusals_total", "Transfers the decode pool's admission refused"),
+    "transfers_cancelled": ("repro_kv_transfers_cancelled_total", "In-flight transfers cancelled by eviction/shed"),
+    "transfers_refunded": ("repro_kv_transfers_refunded_total", "Cancelled transfers that wasted no wire time"),
+    "prefix_hits": ("repro_prefix_hits_total", "Prefix-cache lookups that adopted a cached prefix"),
+    "prefix_misses": ("repro_prefix_misses_total", "Prefix-cache lookups that matched nothing"),
+    "prefix_reused_tokens": ("repro_prefix_reused_kv_tokens_total", "KV tokens adopted from cached prefixes"),
+    "prefix_evictions": ("repro_prefix_evictions_total", "LRU evictions of cached prefix residents"),
+    "prefix_evicted_tokens": ("repro_prefix_evicted_kv_tokens_total", "KV tokens dropped by prefix evictions"),
+    "transfer_faults": ("repro_transfer_faults_total", "Injected mid-stream KV-transfer failures"),
+    "fault_retries": ("repro_fault_retries_total", "Failed transfers rescheduled after backoff"),
+    "swap_losses": ("repro_swap_losses_total", "Host-store payloads lost at swap-in time"),
+    "swap_lost_tokens": ("repro_swap_lost_kv_tokens_total", "KV tokens in lost swap payloads"),
+    "pool_resets": ("repro_pool_resets_total", "Whole-pool KV resets injected"),
+    "pool_reset_evicted_tokens": ("repro_pool_reset_evicted_kv_tokens_total", "Resident KV tokens dropped by pool resets"),
+    "degraded_fallbacks": ("repro_degraded_fallbacks_total", "Fault recoveries that bottomed out in recompute"),
+    "timeouts": ("repro_timeouts_total", "Requests shed for blowing their deadline"),
+    "sheds": ("repro_sheds_total", "Requests shed by backpressure or cascade"),
+    "completed_requests": ("repro_completed_requests_total", "Requests that reached FINISHED"),
+}
 
-@dataclass
+#: Simulated-seconds counters (monotonic, float-valued).
+_FLOAT_COUNTERS = {
+    "swap_stall_s": ("repro_swap_stall_seconds_total", "Pool stall seconds spent on swap DMA"),
+    "transfer_stall_s": ("repro_transfer_stall_seconds_total", "Decode idle seconds waiting on the KV wire"),
+    "fault_backoff_s": ("repro_fault_backoff_seconds_total", "Retry backoff seconds charged to the wire schedule"),
+}
+
+#: Latency populations: attribute holding the raw samples -> metric.
+_HISTOGRAMS = {
+    "ttft_samples": ("repro_ttft_seconds", "Time to first token per completed request"),
+    "ttit_samples": ("repro_ttit_seconds", "Inter-token gaps of streamed responses"),
+    "ttft_cold_samples": ("repro_ttft_cold_seconds", "TTFT of prefix-cache-eligible requests that missed"),
+    "ttft_warm_samples": ("repro_ttft_warm_seconds", "TTFT of prefix-cache-eligible requests that hit"),
+}
+
+
 class ServingMetrics:
-    """Rolling aggregate over completed turns.
+    """Rolling aggregate over completed turns, backed by a registry.
 
     TTFT/TTIT samples come from the analytic simulator or the serving
     runtime's step clock (seconds); token and cache-hit accounting comes
@@ -30,104 +91,112 @@ class ServingMetrics:
     whole-pool resets, degraded-ladder fallbacks, and the
     deadline/backpressure shedding tallies behind the ``goodput``
     metric (completed requests per simulated host-second).
+
+    Args:
+        registry: the :class:`~repro.obs.registry.MetricsRegistry` to
+            register instruments on (default: a fresh private one, so
+            every instance — one per fleet replica — owns its state).
     """
 
-    ttft_samples: list[float] = field(default_factory=list)
-    ttit_samples: list[float] = field(default_factory=list)
-    turns: list[TurnRecord] = field(default_factory=list)
-    preemptions: int = 0
-    evicted_tokens: int = 0
-    trims: int = 0
-    trimmed_kv_tokens: int = 0
-    swaps_out: int = 0
-    swaps_in: int = 0
-    swapped_out_tokens: int = 0
-    swapped_in_tokens: int = 0
-    swap_stall_s: float = 0.0
-    pool_busy_s: dict[str, float] = field(default_factory=dict)
-    pool_rounds: dict[str, int] = field(default_factory=dict)
-    peak_kv_utilization: dict[str, float] = field(default_factory=dict)
-    transfers: int = 0
-    transferred_kv_tokens: int = 0
-    transfer_refusals: int = 0
-    transfers_cancelled: int = 0
-    transfers_refunded: int = 0
-    transfer_stall_s: float = 0.0
-    prefix_hits: int = 0
-    prefix_misses: int = 0
-    prefix_reused_tokens: int = 0
-    prefix_evictions: int = 0
-    prefix_evicted_tokens: int = 0
-    ttft_cold_samples: list[float] = field(default_factory=list)
-    ttft_warm_samples: list[float] = field(default_factory=list)
-    transfer_faults: int = 0
-    fault_retries: int = 0
-    fault_backoff_s: float = 0.0
-    swap_losses: int = 0
-    swap_lost_tokens: int = 0
-    pool_resets: int = 0
-    pool_reset_evicted_tokens: int = 0
-    degraded_fallbacks: int = 0
-    timeouts: int = 0
-    sheds: int = 0
-    completed_requests: int = 0
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self.turns: list[TurnRecord] = []
+        self._counters = {
+            attr: r.counter(name, help)
+            for attr, (name, help) in {**_INT_COUNTERS, **_FLOAT_COUNTERS}.items()
+        }
+        self._histograms = {
+            attr: r.histogram(name, help) for attr, (name, help) in _HISTOGRAMS.items()
+        }
+        self._pool_busy = r.counter(
+            "repro_pool_busy_seconds_total", "Engine busy seconds per pool", labels=("pool",)
+        )
+        self._pool_rounds = r.counter(
+            "repro_pool_rounds_total", "Engine rounds executed per pool", labels=("pool",)
+        )
+        self._peak_kv = r.gauge(
+            "repro_kv_peak_utilization", "Peak claimed KV-block fraction per pool", labels=("pool",)
+        )
+
+    # ---------------------- registry-backed attributes ------------------- #
+    # Scalar counters and sample lists are generated as properties after
+    # the class body (one per _INT_COUNTERS/_FLOAT_COUNTERS/_HISTOGRAMS
+    # entry); only the pool-labeled dict views need hand-written ones.
+
+    @property
+    def pool_busy_s(self) -> dict[str, float]:
+        return {labels[0]: v for labels, v in self._pool_busy.items()}
+
+    @property
+    def pool_rounds(self) -> dict[str, int]:
+        return {labels[0]: int(v) for labels, v in self._pool_rounds.items()}
+
+    @property
+    def peak_kv_utilization(self) -> dict[str, float]:
+        return {labels[0]: v for labels, v in self._peak_kv.items()}
+
+    def prometheus_text(self) -> str:
+        """Prometheus text exposition of every registered instrument."""
+        return self.registry.prometheus_text()
+
+    # ------------------------------ writers ------------------------------ #
 
     def record_turn(self, turn: TurnRecord, *, ttft: float | None = None, ttit: float | None = None) -> None:
         self.turns.append(turn)
-        self.completed_requests += 1
+        self._counters["completed_requests"].inc()
         if ttft is not None:
-            self.ttft_samples.append(float(ttft))
+            self._histograms["ttft_samples"].observe(ttft)
         if ttit is not None:
-            self.ttit_samples.append(float(ttit))
+            self._histograms["ttit_samples"].observe(ttit)
 
     def record_ttit(self, ttit: float) -> None:
         """Record one inter-token gap (runtime decode streaming)."""
-        self.ttit_samples.append(float(ttit))
+        self._histograms["ttit_samples"].observe(ttit)
 
     def record_preemption(self, evicted_tokens: int) -> None:
         """Count one capacity-pressure preemption and the KV it evicted."""
-        self.preemptions += 1
-        self.evicted_tokens += int(evicted_tokens)
+        self._counters["preemptions"].inc()
+        self._counters["evicted_tokens"].inc(int(evicted_tokens))
 
     def record_trim(self, trimmed_tokens: int) -> None:
         """Count one tail-trim remedy and the KV tokens it dropped."""
-        self.trims += 1
-        self.trimmed_kv_tokens += int(trimmed_tokens)
+        self._counters["trims"].inc()
+        self._counters["trimmed_kv_tokens"].inc(int(trimmed_tokens))
 
     def record_swap_out(self, tokens: int, *, stall_s: float = 0.0) -> None:
         """Count one device->host KV swap and the pool stall it cost."""
         if stall_s < 0:
             raise ValueError(f"swap stall must be >= 0, got {stall_s}")
-        self.swaps_out += 1
-        self.swapped_out_tokens += int(tokens)
-        self.swap_stall_s += float(stall_s)
+        self._counters["swaps_out"].inc()
+        self._counters["swapped_out_tokens"].inc(int(tokens))
+        self._counters["swap_stall_s"].inc(float(stall_s))
 
     def record_swap_in(self, tokens: int, *, stall_s: float = 0.0) -> None:
         """Count one host->device KV swap and the pool stall it cost."""
         if stall_s < 0:
             raise ValueError(f"swap stall must be >= 0, got {stall_s}")
-        self.swaps_in += 1
-        self.swapped_in_tokens += int(tokens)
-        self.swap_stall_s += float(stall_s)
+        self._counters["swaps_in"].inc()
+        self._counters["swapped_in_tokens"].inc(int(tokens))
+        self._counters["swap_stall_s"].inc(float(stall_s))
 
     def record_round(self, pool: str, busy_s: float) -> None:
         """Account one engine round's busy time against ``pool``."""
-        self.pool_busy_s[pool] = self.pool_busy_s.get(pool, 0.0) + float(busy_s)
-        self.pool_rounds[pool] = self.pool_rounds.get(pool, 0) + 1
+        self._pool_busy.inc(float(busy_s), pool=pool)
+        self._pool_rounds.inc(1, pool=pool)
 
     def record_kv_occupancy(self, pool: str, fraction: float) -> None:
         """Sample a pool's claimed KV-block fraction (peak is kept)."""
-        current = self.peak_kv_utilization.get(pool, 0.0)
-        self.peak_kv_utilization[pool] = max(current, float(fraction))
+        self._peak_kv.set_max(float(fraction), pool=pool)
 
     def record_transfer(self, tokens: int) -> None:
         """Count one landed prefill->decode KV transfer."""
-        self.transfers += 1
-        self.transferred_kv_tokens += int(tokens)
+        self._counters["transfers"].inc()
+        self._counters["transferred_kv_tokens"].inc(int(tokens))
 
     def record_transfer_refusal(self) -> None:
         """Count a transfer the decode pool's admission control refused."""
-        self.transfer_refusals += 1
+        self._counters["transfer_refusals"].inc()
 
     def record_transfer_cancel(self, *, refunded: bool = False) -> None:
         """Count a cancelled transfer.
@@ -139,25 +208,25 @@ class ServingMetrics:
                 ``transfers_cancelled``, counted once — a cancel is never
                 both sunk and refunded.
         """
-        self.transfers_cancelled += 1
+        self._counters["transfers_cancelled"].inc()
         if refunded:
-            self.transfers_refunded += 1
+            self._counters["transfers_refunded"].inc()
 
     def record_prefix_hit(self, reused_tokens: int) -> None:
         """Count one prefix-cache lookup that adopted a cached prefix."""
         if reused_tokens < 1:
             raise ValueError(f"a prefix hit must reuse >= 1 token, got {reused_tokens}")
-        self.prefix_hits += 1
-        self.prefix_reused_tokens += int(reused_tokens)
+        self._counters["prefix_hits"].inc()
+        self._counters["prefix_reused_tokens"].inc(int(reused_tokens))
 
     def record_prefix_miss(self) -> None:
         """Count one prefix-cache lookup that matched nothing."""
-        self.prefix_misses += 1
+        self._counters["prefix_misses"].inc()
 
     def record_prefix_eviction(self, tokens: int) -> None:
         """Count one LRU eviction of a finished cached prefix resident."""
-        self.prefix_evictions += 1
-        self.prefix_evicted_tokens += int(tokens)
+        self._counters["prefix_evictions"].inc()
+        self._counters["prefix_evicted_tokens"].inc(int(tokens))
 
     def record_ttft_split(self, ttft: float, *, warm: bool) -> None:
         """File a TTFT sample under the warm (prefix hit) or cold bucket.
@@ -165,7 +234,8 @@ class ServingMetrics:
         Split accounting only — callers still record the sample in the
         overall TTFT population via :meth:`record_turn`.
         """
-        (self.ttft_warm_samples if warm else self.ttft_cold_samples).append(float(ttft))
+        key = "ttft_warm_samples" if warm else "ttft_cold_samples"
+        self._histograms[key].observe(ttft)
 
     def record_transfer_fault(self, *, retried: bool, backoff_s: float = 0.0) -> None:
         """Count one injected mid-stream KV-transfer failure.
@@ -180,34 +250,34 @@ class ServingMetrics:
         """
         if backoff_s < 0:
             raise ValueError(f"backoff must be >= 0, got {backoff_s}")
-        self.transfer_faults += 1
+        self._counters["transfer_faults"].inc()
         if retried:
-            self.fault_retries += 1
-            self.fault_backoff_s += float(backoff_s)
+            self._counters["fault_retries"].inc()
+            self._counters["fault_backoff_s"].inc(float(backoff_s))
 
     def record_swap_loss(self, tokens: int) -> None:
         """Count one host-store payload lost at swap-in time."""
-        self.swap_losses += 1
-        self.swap_lost_tokens += int(tokens)
+        self._counters["swap_losses"].inc()
+        self._counters["swap_lost_tokens"].inc(int(tokens))
 
     def record_pool_reset(self, evicted_tokens: int) -> None:
         """Count one whole-pool KV reset and the resident KV it dropped."""
-        self.pool_resets += 1
-        self.pool_reset_evicted_tokens += int(evicted_tokens)
+        self._counters["pool_resets"].inc()
+        self._counters["pool_reset_evicted_tokens"].inc(int(evicted_tokens))
 
     def record_degraded_fallback(self) -> None:
         """Count one degradation-ladder bottom-out: a fault recovery that
         ended in recomputation (re-prefill) instead of the cheap path."""
-        self.degraded_fallbacks += 1
+        self._counters["degraded_fallbacks"].inc()
 
     def record_timeout(self) -> None:
         """Count one request shed for blowing its completion deadline."""
-        self.timeouts += 1
+        self._counters["timeouts"].inc()
 
     def record_shed(self) -> None:
         """Count one request shed by queue-depth backpressure (or
         cascaded from an earlier shed turn of its conversation)."""
-        self.sheds += 1
+        self._counters["sheds"].inc()
 
     def record_transfer_stall(self, seconds: float) -> None:
         """Account decode-pool idle time spent waiting on the KV stream.
@@ -219,7 +289,7 @@ class ServingMetrics:
         """
         if seconds < 0:
             raise ValueError(f"transfer stall must be >= 0, got {seconds}")
-        self.transfer_stall_s += float(seconds)
+        self._counters["transfer_stall_s"].inc(float(seconds))
 
     # ------------------------------- views ------------------------------ #
 
@@ -277,9 +347,10 @@ class ServingMetrics:
 
     def pool_utilization(self, pool: str, makespan: float) -> float:
         """Busy fraction of ``pool`` over ``makespan`` (nan when unknown)."""
-        if makespan <= 0 or pool not in self.pool_busy_s:
+        busy = self.pool_busy_s
+        if makespan <= 0 or pool not in busy:
             return float("nan")
-        return self.pool_busy_s[pool] / makespan
+        return busy[pool] / makespan
 
     def goodput(self, makespan: float) -> float:
         """Completed requests per simulated host-second (DistServe's
@@ -359,9 +430,10 @@ class ServingMetrics:
                 f"({self.completed_requests} requests completed)"
             )
         if self.pool_busy_s:
+            busy_s, rounds = self.pool_busy_s, self.pool_rounds
             busy = ", ".join(
-                f"{pool}: {self.pool_busy_s[pool]:.3f}s/{self.pool_rounds.get(pool, 0)} rounds"
-                for pool in sorted(self.pool_busy_s)
+                f"{pool}: {busy_s[pool]:.3f}s/{rounds.get(pool, 0)} rounds"
+                for pool in sorted(busy_s)
             )
             lines.append(f"pool busy: {busy}")
         if self.peak_kv_utilization:
@@ -371,6 +443,33 @@ class ServingMetrics:
             )
             lines.append(f"peak KV occupancy: {peak}")
         return "\n".join(lines)
+
+
+def _counter_property(attr: str, cast) -> property:
+    def fget(self):
+        return cast(self._counters[attr].value())
+
+    fget.__doc__ = f"Registry-backed ``{attr}`` counter (read-only)."
+    return property(fget)
+
+
+def _samples_property(attr: str) -> property:
+    def fget(self):
+        return self._histograms[attr].samples
+
+    fget.__doc__ = (
+        f"Raw ``{attr}`` list (aliases the backing histogram's samples)."
+    )
+    return property(fget)
+
+
+for _attr in _INT_COUNTERS:
+    setattr(ServingMetrics, _attr, _counter_property(_attr, int))
+for _attr in _FLOAT_COUNTERS:
+    setattr(ServingMetrics, _attr, _counter_property(_attr, float))
+for _attr in _HISTOGRAMS:
+    setattr(ServingMetrics, _attr, _samples_property(_attr))
+del _attr
 
 
 @dataclass
@@ -470,6 +569,13 @@ class FleetMetrics:
         if makespan <= 0:
             return 0.0
         return self.completed_requests / makespan
+
+    def prometheus_text(self) -> str:
+        """Merged Prometheus exposition over every replica's registry,
+        each sample line labeled ``replica="<id>"``."""
+        return prometheus_text_multi(
+            {rid: m.registry for rid, m in self.replicas.items()}
+        )
 
     def summary(self) -> str:
         lines = [f"replicas: {len(self.replicas)}"]

@@ -205,11 +205,20 @@ class TestFleetMetrics:
             fm.add_replica(0, ServingMetrics(), 2.0)
 
     def test_rollups_sum_over_replicas(self):
+        from repro.serving.request import TurnRecord
+
+        def turn():
+            return TurnRecord(
+                seq_id=0, prompt_tokens=1, cached_tokens=0,
+                response_tokens=1, algo="pass-kv",
+            )
+
         fm = FleetMetrics()
         a, b = ServingMetrics(), ServingMetrics()
-        a.completed_requests = 3
+        for _ in range(3):
+            a.record_turn(turn())
         a.record_prefix_hit(10)
-        b.completed_requests = 1
+        b.record_turn(turn())
         b.record_prefix_miss()
         fm.add_replica(0, a, 2.0)
         fm.add_replica(1, b, 4.0)

@@ -1,0 +1,143 @@
+"""Unit tests for the JSONL and Chrome trace exporters."""
+
+import json
+
+from repro.obs import (
+    TraceEvent,
+    dumps_jsonl,
+    load_jsonl,
+    to_chrome,
+    validate_chrome,
+    write_chrome,
+    write_jsonl,
+)
+
+
+def ev(name, phase="instant", t=1.0, **kw):
+    return TraceEvent(name=name, phase=phase, t=t, **kw)
+
+
+class TestJsonl:
+    def test_round_trip_through_file(self, tmp_path):
+        events = [
+            ev("admit", request_id=0, seq_id=0, attrs={"arrival": 0.5}),
+            ev("prefill_round", phase="span", t=1.0, dur=2.0, pool="prefill"),
+        ]
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(events, path)
+        assert load_jsonl(path) == events
+
+    def test_serialization_is_byte_deterministic(self):
+        events = [ev("finish", request_id=1, attrs={"ttft": 1.5, "tokens": 4})]
+        assert dumps_jsonl(events) == dumps_jsonl(list(events))
+        # keys sorted within each line
+        line = dumps_jsonl(events).splitlines()[0]
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"name": "admit", "phase": "instant", "t": 1.0}\n\n')
+        assert len(load_jsonl(str(path))) == 1
+
+
+class TestChromeTracks:
+    def test_pool_rounds_on_pool_rails(self):
+        obj = to_chrome([ev("prefill_round", phase="span", dur=1.0, pool="prefill")])
+        [x] = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+        assert (x["pid"], x["tid"]) == (0, 1)
+
+    def test_request_events_on_request_rails(self):
+        obj = to_chrome([ev("prefill_chunk", phase="span", dur=1.0, request_id=7)])
+        [x] = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+        assert x["tid"] == 107
+
+    def test_replica_becomes_pid(self):
+        obj = to_chrome([ev("admit", replica=2, request_id=0)])
+        [i] = [e for e in obj["traceEvents"] if e["ph"] == "i"]
+        assert i["pid"] == 2
+        names = {
+            (e["pid"], e["args"]["name"])
+            for e in obj["traceEvents"]
+            if e["name"] == "process_name"
+        }
+        assert (2, "replica 2") in names
+
+    def test_metadata_covers_every_track(self):
+        obj = to_chrome(
+            [
+                ev("decode_round", phase="span", dur=0.5, pool="decode"),
+                ev("admit", request_id=3),
+                ev("kv_transfer_schedule", pool="wire", seq_id=1),
+            ]
+        )
+        threads = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in obj["traceEvents"]
+            if e["name"] == "thread_name"
+        }
+        assert threads[(0, 2)] == "pool decode"
+        assert threads[(0, 103)] == "req 3"
+        assert threads[(0, 3)] == "pool wire"
+
+    def test_instants_use_thread_scope(self):
+        obj = to_chrome([ev("first_token", request_id=0, attrs={"ttft": 1.0})])
+        [i] = [e for e in obj["traceEvents"] if e["ph"] == "i"]
+        assert i["s"] == "t"
+        assert i["args"]["ttft"] == 1.0
+
+    def test_microsecond_conversion(self):
+        obj = to_chrome([ev("decode_round", phase="span", t=1.5, dur=0.5, pool="decode")])
+        [x] = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+        assert x["ts"] == 1.5e6
+        assert x["ts"] + x["dur"] == 2.0e6
+
+    def test_write_chrome_parses_back(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome([ev("admit", request_id=0)], path)
+        obj = json.load(open(path))
+        assert validate_chrome(obj) == []
+
+
+class TestValidateChrome:
+    def test_flags_missing_container(self):
+        assert validate_chrome({}) == ["traceEvents missing or not a list"]
+
+    def test_flags_malformed_event(self):
+        problems = validate_chrome({"traceEvents": [{"name": "x"}]})
+        assert any("malformed" in p for p in problems)
+
+    def test_flags_x_without_dur(self):
+        problems = validate_chrome(
+            {"traceEvents": [{"ph": "X", "pid": 0, "tid": 0, "ts": 1.0, "name": "x"}]}
+        )
+        assert any("without ts/dur" in p for p in problems)
+
+    def test_flags_negative_dur(self):
+        problems = validate_chrome(
+            {"traceEvents": [
+                {"ph": "X", "pid": 0, "tid": 0, "ts": 1.0, "dur": -1.0, "name": "x"}
+            ]}
+        )
+        assert any("negative dur" in p for p in problems)
+
+    def test_accepts_proper_nesting(self):
+        outer = {"ph": "X", "pid": 0, "tid": 1, "ts": 0.0, "dur": 10.0, "name": "outer"}
+        inner = {"ph": "X", "pid": 0, "tid": 1, "ts": 2.0, "dur": 3.0, "name": "inner"}
+        assert validate_chrome({"traceEvents": [outer, inner]}) == []
+
+    def test_flags_partial_overlap(self):
+        a = {"ph": "X", "pid": 0, "tid": 1, "ts": 0.0, "dur": 5.0, "name": "a"}
+        b = {"ph": "X", "pid": 0, "tid": 1, "ts": 3.0, "dur": 5.0, "name": "b"}
+        problems = validate_chrome({"traceEvents": [a, b]})
+        assert any("overlaps" in p for p in problems)
+
+    def test_abutting_spans_are_fine(self):
+        a = {"ph": "X", "pid": 0, "tid": 1, "ts": 0.0, "dur": 5.0, "name": "a"}
+        b = {"ph": "X", "pid": 0, "tid": 1, "ts": 5.0, "dur": 5.0, "name": "b"}
+        assert validate_chrome({"traceEvents": [a, b]}) == []
+
+    def test_different_tracks_never_conflict(self):
+        a = {"ph": "X", "pid": 0, "tid": 1, "ts": 0.0, "dur": 5.0, "name": "a"}
+        b = {"ph": "X", "pid": 0, "tid": 2, "ts": 3.0, "dur": 5.0, "name": "b"}
+        assert validate_chrome({"traceEvents": [a, b]}) == []

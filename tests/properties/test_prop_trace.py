@@ -1,0 +1,243 @@
+"""Property tests: trace determinism and trace/metrics reconciliation.
+
+The observability layer's two tier-1 invariants (PR 10):
+
+- **Trace determinism** — every clock is simulated, so the recorded
+  scheduling trace is a pure function of the configuration: running the
+  same seeded workload twice through freshly built runtimes yields
+  **byte-identical** JSONL serializations. Quantified over deployment
+  shape (colocated / disaggregated), remedies, prefix cache, injected
+  fault schedules, and multi-replica fleets with every routing policy.
+- **Reconciliation** — every :class:`ServingMetrics` counter and stall
+  total is *exactly* derivable from the trace: each hook site emits its
+  event adjacent to the ``record_*`` call with the same values, so
+  trace-derived sums equal the counters bit-for-bit (no tolerance).
+  Fleet runs reconcile per replica through the scoped labels.
+- **Explain exactness** — the TTFT decomposition is an exact partition:
+  components sum (in insertion order) to the recorded TTFT *as floats*,
+  and the TTFT the trace reconstructs equals the one the metrics
+  recorded.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ReplicaFleet, make_router
+from repro.cluster.router import ROUTING_POLICIES
+from repro.core.engine import ContextParallelEngine
+from repro.model.config import tiny_config
+from repro.model.llama import LlamaModel
+from repro.obs import (
+    RecordingTracer,
+    dumps_jsonl,
+    explain_ttft,
+    format_explanation,
+    reconcile,
+    reconcile_fleet,
+    request_ids,
+    to_chrome,
+    validate_chrome,
+)
+from repro.runtime import ContinuousBatchingRuntime, FaultPlan
+from repro.serving.scheduler import ChunkedPrefillPolicy
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.replay import submit_scripts_to_runtime
+
+MODEL = LlamaModel(tiny_config(), seed=0)
+VOCAB = MODEL.config.vocab_size
+SETTINGS = dict(max_examples=8, deadline=None)
+
+
+@st.composite
+def trace_case(draw):
+    """One serving configuration: traffic x shape x remedy x faults x
+    replica count. Returns a dict that fully determines a run, so the
+    same case can be executed twice for the byte-identity check."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    case = dict(
+        seed=seed,
+        n_replicas=draw(st.integers(1, 3)),
+        policy=draw(st.sampled_from(ROUTING_POLICIES)),
+        disaggregate=draw(st.booleans()),
+        preemption=draw(st.sampled_from(["recompute", "trim", "swap"])),
+        prefix_cache=draw(st.booleans()),
+        chunk=draw(st.sampled_from([5, 16])),
+        capacity=draw(st.sampled_from([None, 144])),
+        think=draw(st.sampled_from([0.0, 2.5])),
+        shared=draw(st.booleans()),
+        sessions=draw(st.integers(2, 4)),
+        turns=draw(st.integers(1, 2)),
+        faults=None,
+    )
+    if draw(st.booleans()):
+        case["faults"] = dict(
+            seed=draw(st.integers(0, 2**16)),
+            transfer_fail_rate=draw(st.sampled_from([0.0, 0.3])),
+            swap_loss_rate=draw(st.sampled_from([0.0, 0.3])),
+            pool_resets=draw(st.integers(0, 1)),
+            deadline_s=draw(st.sampled_from([None, 25.0])),
+        )
+    return case
+
+
+def _scripts(case):
+    gen = WorkloadGenerator(VOCAB, seed=case["seed"])
+    if case["shared"]:
+        return gen.shared_prefix_traffic(
+            n_system_prompts=2,
+            n_fewshot_variants=2,
+            conversations=case["sessions"],
+            system_tokens=24,
+            fewshot_tokens=8,
+            unique_range=(4, 12),
+            turns=case["turns"],
+            response_range=(2, 5),
+        )
+    return [
+        gen.conversation(
+            sid, turns=case["turns"], first_prompt=24,
+            followup_range=(4, 12), response_range=(2, 5),
+        )
+        for sid in range(case["sessions"])
+    ]
+
+
+def run_traced(case):
+    """Build fresh engines/clocks/tracer, run the case, return
+    ``(tracer, runtime_or_fleet, fleet_or_None, report)``."""
+    plan = FaultPlan(**case["faults"]) if case["faults"] else None
+    tracer = RecordingTracer()
+
+    def make_runtime(replica_id=None):
+        rt_tracer = (
+            tracer if replica_id is None else tracer.scoped(replica=replica_id)
+        )
+        kwargs = dict(
+            policy=ChunkedPrefillPolicy(
+                chunk_tokens=case["chunk"],
+                max_tokens_per_round=2 * case["chunk"],
+                max_seqs_per_round=4,
+            ),
+            preemption=case["preemption"],
+            prefix_cache=case["prefix_cache"],
+            faults=plan,
+            tracer=rt_tracer,
+        )
+        engine = ContextParallelEngine(
+            MODEL, world_size=2, capacity_tokens=case["capacity"]
+        )
+        if case["disaggregate"]:
+            decode = ContextParallelEngine(
+                MODEL, world_size=2, capacity_tokens=case["capacity"]
+            )
+            return ContinuousBatchingRuntime(engine, decode_engine=decode, **kwargs)
+        return ContinuousBatchingRuntime(engine, **kwargs)
+
+    if case["n_replicas"] == 1:
+        runtime = make_runtime()
+        fleet = None
+    else:
+        fleet = ReplicaFleet.build(
+            make_runtime,
+            case["n_replicas"],
+            router=make_router(case["policy"]),
+            tracer=tracer,
+        )
+        runtime = fleet
+    submit_scripts_to_runtime(runtime, _scripts(case), think_time_s=case["think"])
+    report = runtime.run(max_steps=200_000)
+    return tracer, runtime, fleet, report
+
+
+class TestTraceDeterminism:
+    @given(trace_case())
+    @settings(**SETTINGS)
+    def test_same_seed_trace_is_byte_identical(self, case):
+        """Two fresh runs of one configuration serialize to the same
+        bytes — JSONL and Chrome alike (the chrome object is derived
+        deterministically from the events)."""
+        first, _, _, _ = run_traced(case)
+        second, _, _, _ = run_traced(case)
+        a, b = dumps_jsonl(first.events), dumps_jsonl(second.events)
+        assert a == b, (
+            f"same-seed traces differ ({len(first.events)} vs "
+            f"{len(second.events)} events) for case {case}"
+        )
+        assert to_chrome(first.events) == to_chrome(second.events)
+
+    @given(trace_case())
+    @settings(**SETTINGS)
+    def test_chrome_export_validates(self, case):
+        """Every recorded shape exports a structurally valid Chrome
+        trace: parseable container, non-negative spans, and proper
+        nesting on every (pid, tid) track."""
+        tracer, _, _, _ = run_traced(case)
+        problems = validate_chrome(to_chrome(tracer.events))
+        assert problems == [], f"case {case}"
+
+
+class TestReconciliation:
+    @given(trace_case())
+    @settings(**SETTINGS)
+    def test_trace_reconciles_exactly_with_metrics(self, case):
+        """Every counter / stall-second / TTFT-sample population in the
+        metrics is exactly derivable from the trace (per replica in a
+        fleet). Any drift means a hook site and a record_* call
+        disagree."""
+        tracer, runtime, fleet, report = run_traced(case)
+        if fleet is None:
+            drift = reconcile(tracer.events, runtime.metrics)
+        else:
+            drift = reconcile_fleet(tracer.events, report.metrics)
+        assert drift == [], f"case {case}"
+
+
+class TestExplain:
+    @given(trace_case())
+    @settings(**SETTINGS)
+    def test_components_sum_exactly_to_recorded_ttft(self, case):
+        """For every request that streamed a first token: the explain
+        decomposition's components sum to its TTFT exactly (float
+        equality, no tolerance), every component is non-negative up to
+        the closing term, and the reconstruction renders."""
+        tracer, _, _, report = run_traced(case)
+        finished = {
+            e.request_id
+            for e in tracer.events
+            if e.name == "finish" and "ttft" in e.attrs
+        }
+        recorded = {
+            e.request_id: e.attrs["ttft"]
+            for e in tracer.events
+            if e.name == "finish" and "ttft" in e.attrs
+        }
+        if case["faults"] is None:
+            assert finished, "a fault-free case completes every request"
+        for rid in sorted(finished):
+            bd = explain_ttft(tracer.events, rid)
+            assert bd.total == bd.ttft, (
+                f"request {rid}: components sum {bd.total!r} != "
+                f"TTFT {bd.ttft!r} (case {case})"
+            )
+            assert bd.ttft == recorded[rid], (
+                f"request {rid}: trace-reconstructed TTFT {bd.ttft!r} != "
+                f"metrics-recorded {recorded[rid]!r}"
+            )
+            for name, v in bd.components.items():
+                if name != "queue_wait":
+                    assert v >= 0.0, f"negative {name} for request {rid}"
+            text = format_explanation(tracer.events, rid)
+            assert f"request {rid}" in text
+            assert "TTFT" in text
+
+    @given(trace_case())
+    @settings(**SETTINGS)
+    def test_every_request_is_reconstructible(self, case):
+        """request_ids covers every id the report knows, and each one
+        formats without error (finished or shed alike)."""
+        tracer, _, _, report = run_traced(case)
+        ids = set(request_ids(tracer.events))
+        assert set(report.records) <= ids
+        for rid in sorted(ids):
+            assert format_explanation(tracer.events, rid)

@@ -396,7 +396,15 @@ class TestFaultMetrics:
         m = ServingMetrics()
         assert m.goodput(0.0) == 0.0
         assert m.goodput(-1.0) == 0.0
-        m.completed_requests = 4
+        from repro.serving.request import TurnRecord
+
+        for _ in range(4):
+            m.record_turn(
+                TurnRecord(
+                    seq_id=0, prompt_tokens=1, cached_tokens=0,
+                    response_tokens=1, algo="pass-kv",
+                )
+            )
         assert m.goodput(2.0) == 2.0
 
     def test_summary_lines_only_when_faults_happened(self):

@@ -177,15 +177,20 @@ class TestInstanceIndependence:
     trap)."""
 
     def test_no_shared_mutable_defaults(self):
-        import dataclasses
-
         a, b = ServingMetrics(), ServingMetrics()
-        for f in dataclasses.fields(ServingMetrics):
-            va, vb = getattr(a, f.name), getattr(b, f.name)
-            if isinstance(va, (list, dict, set)):
-                assert va is not vb, (
-                    f"ServingMetrics.{f.name} is shared between instances"
-                )
+        assert a.registry is not b.registry, "ServingMetrics.registry is shared"
+        for name in (
+            "turns",
+            "ttft_samples",
+            "ttit_samples",
+            "ttft_cold_samples",
+            "ttft_warm_samples",
+            "pool_busy_s",
+            "pool_rounds",
+            "peak_kv_utilization",
+        ):
+            va, vb = getattr(a, name), getattr(b, name)
+            assert va is not vb, f"ServingMetrics.{name} is shared between instances"
 
     def test_mutations_stay_local(self):
         a, b = ServingMetrics(), ServingMetrics()
